@@ -1,0 +1,157 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not figures from the paper, but quantified justifications of decisions the
+paper makes in prose:
+
+* exact pruning of the failure enumeration (§4.1's tractability claim);
+* letting amplifiers compete with cut-through fiber (Appendix A's "it may
+  make sense to place amplifiers instead");
+* the AZ/semi-distributed middle ground alleviating latency inflation
+  (footnote 2);
+* sensitivity of application impact to optical switch speed (§5.2's
+  "in the future, we expect sub-ms switching for OSSes" [25]).
+"""
+
+import pytest
+
+from repro.core.amplifiers import place_amplifiers
+from repro.core.cutthrough import place_cut_throughs
+from repro.core.topology import (
+    enumerate_scenario_paths,
+    plan_topology,
+    prune_overlong_ducts,
+)
+from repro.cost.pricebook import PriceBook
+from repro.designs.centralized import CentralizedDesign
+from repro.designs.semidistributed import cluster_zones
+from repro.region.catalog import make_region
+from repro.simulation.failover import FailoverConfig, run_failover
+
+from conftest import median
+
+
+def test_ablation_enumeration_pruning(benchmark, report):
+    """Pruned vs brute-force failure enumeration: identical capacities,
+    far fewer scenarios."""
+    instance = make_region(map_index=0, n_dcs=5, dc_fibers=8)
+    region = instance.spec
+    fmap = prune_overlong_ducts(region.fiber_map, region.constraints.max_span_km)
+
+    def both():
+        pruned, raw = enumerate_scenario_paths(fmap, 1, prune=True)
+        brute, _ = enumerate_scenario_paths(fmap, 1, prune=False)
+        return pruned, brute, raw
+
+    pruned, brute, raw = benchmark.pedantic(both, rounds=1, iterations=1)
+    plan_p = plan_topology(region, prune_enumeration=True)
+    plan_b = plan_topology(region, prune_enumeration=False)
+
+    report("Abl.   exact failure-enumeration pruning (5 DCs, tolerance 1)")
+    report(f"        scenarios visited     brute {len(brute)}  pruned "
+           f"{len(pruned)} ({len(pruned) / len(brute) * 100:.0f}%)")
+    report(f"        capacities identical  {dict(plan_p.edge_capacity) == dict(plan_b.edge_capacity)}")
+
+    assert dict(plan_p.edge_capacity) == dict(plan_b.edge_capacity)
+    assert len(pruned) < len(brute)
+
+
+def test_ablation_amplifiers_vs_cutthrough(benchmark, report):
+    """Appendix A: amplifiers competing in the greedy slash the fiber that
+    a cut-through-only realization would lease."""
+    instance = make_region(map_index=0, n_dcs=5, dc_fibers=8)
+    region = instance.spec
+    prices = PriceBook.default()
+    topology = plan_topology(region)
+
+    def run(allow_amps: bool):
+        amps, effective = place_amplifiers(region, topology)
+        links, _, final = place_cut_throughs(
+            region,
+            effective,
+            site_counts=amps.site_counts,
+            assignments=amps.assignments,
+            allow_amplifiers=allow_amps,
+        )
+        fiber = sum(l.fiber_pair_spans for l in links)
+        cost = (
+            final.total_amplifiers * prices.amplifier
+            + fiber * prices.fiber_pair_span
+            + 4 * sum(l.fiber_pairs for l in links) * prices.oss_port
+        )
+        return final.total_amplifiers, fiber, cost
+
+    with_amps = benchmark.pedantic(lambda: run(True), rounds=1, iterations=1)
+    without = run(False)
+
+    report("Abl.   amplifier-vs-cut-through competition (Appendix A)")
+    report(f"        combined greedy       amps={with_amps[0]} "
+           f"cut-through spans={with_amps[1]} cost=${with_amps[2]:,.0f}")
+    report(f"        cut-through only      amps={without[0]} "
+           f"cut-through spans={without[1]} cost=${without[2]:,.0f}")
+    report(f"        saving                {(1 - with_amps[2] / without[2]) * 100:.0f}%")
+
+    assert with_amps[2] <= without[2]
+    assert without[1] > with_amps[1]
+
+
+def test_ablation_az_latency(benchmark, report):
+    """Footnote 2: AZ-style designs alleviate centralized latency inflation."""
+    instance = make_region(map_index=1, n_dcs=8, dc_fibers=8)
+    region = instance.spec
+
+    def worst_distances():
+        central = CentralizedDesign(region, hubs=instance.hubs)
+        az2 = cluster_zones(region, 2)
+        az4 = cluster_zones(region, 4)
+        pairs = list(region.iter_pairs())
+        direct = {
+            p: region.fiber_map.fiber_distance(*p) for p in pairs
+        }
+
+        def mean_inflation(distance_fn):
+            return sum(
+                distance_fn(a, b) / direct[(a, b)] for a, b in pairs
+            ) / len(pairs)
+
+        return {
+            "centralized": mean_inflation(central.pair_distance_km),
+            "az2": mean_inflation(az2.pair_distance_km),
+            "az4": mean_inflation(az4.pair_distance_km),
+        }
+
+    inflation = benchmark.pedantic(worst_distances, rounds=1, iterations=1)
+
+    report("Abl.   mean latency inflation vs direct shortest paths (8 DCs)")
+    report(f"        centralized           {inflation['centralized']:.2f}x")
+    report(f"        2 availability zones  {inflation['az2']:.2f}x")
+    report(f"        4 availability zones  {inflation['az4']:.2f}x")
+    report("        paper (footnote 2): AZs 'may alleviate some of this "
+           "latency inflation'")
+
+    assert inflation["az4"] <= inflation["az2"] + 0.15
+    assert inflation["az4"] <= inflation["centralized"]
+
+
+def test_ablation_switch_speed(benchmark, report):
+    """Failover transient vs optical switch speed: the [25] trajectory."""
+    speeds = {"sub-ms (future MEMS)": 0.001, "20 ms OSS": 0.02, "70 ms two-hut": 0.07, "500 ms (slow)": 0.5}
+
+    def run_all():
+        return {
+            label: run_failover(
+                FailoverConfig(duration_s=8.0, switch_time_s=s, seed=6)
+            )
+            for label, s in speeds.items()
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    report("Abl.   duct-cut transient vs switch speed (worst extra FCT)")
+    for label, result in results.items():
+        report(f"        {label:<22}+{result.max_extra_fct_s * 1000:7.0f} ms "
+               f"(p99 affected {result.p99_affected_ratio:.2f}x)")
+
+    ordered = [results[k].max_extra_fct_s for k in speeds]
+    # Monotone: faster switching, smaller transient.
+    assert ordered[0] <= ordered[-1]
+    assert results["sub-ms (future MEMS)"].max_extra_fct_s < 0.2

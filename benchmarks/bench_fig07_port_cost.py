@@ -1,0 +1,29 @@
+"""Fig 7: relative port-cost breakdown as topologies distribute (16 DCs).
+
+Paper: full mesh is "roughly 7x" the centralized cost with electrical
+switching (closed form (N+1)/2 = 8.5); semi-distributed remains more
+expensive than centralized even with short-reach group-internal
+transceivers; the optical column stays within ~1.5x across the spectrum.
+"""
+
+from repro.analysis.portcost import port_cost_table
+
+
+def test_fig07_port_cost(benchmark, report):
+    rows = benchmark(port_cost_table, 16)
+    by_groups = {r.groups: r for r in rows}
+    mesh = by_groups[16]
+
+    report("Fig 7  port-cost breakdown vs groups (N=16, centralized = 1.0)")
+    report(f"        {'groups':>8}{'electrical':>12}{'with SR':>10}{'optical':>10}")
+    for row in rows:
+        report(
+            f"        {row.groups:>8}{row.electrical:>12.2f}"
+            f"{row.electrical_sr:>10.2f}{row.optical:>10.2f}"
+        )
+    report(f"        mesh/centralized      paper ~7x     measured "
+           f"{mesh.electrical:.1f}x")
+
+    assert 6.0 <= mesh.electrical <= 9.0
+    assert all(by_groups[g].electrical_sr > 1.0 for g in (2, 4, 8, 16))
+    assert all(r.optical <= 1.5 for r in rows)

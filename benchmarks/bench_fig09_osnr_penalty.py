@@ -1,0 +1,37 @@
+"""Fig 9: OSNR penalty versus cascaded amplifier count.
+
+Paper: the first amplifier costs its ~4.5 dB noise figure, each doubling
+~3 dB more; the 9 dB budget therefore allows at most 3 amplifiers
+end-to-end, i.e. one extra in-line amplifier on a DC-DC path.
+"""
+
+import pytest
+
+from repro.optics.osnr import (
+    cascade_penalty_db,
+    emulated_cascade,
+    max_amplifiers_within_budget,
+)
+
+
+def run_cascades():
+    return {n: emulated_cascade(n).osnr_penalty_db for n in range(1, 9)}
+
+
+def test_fig09_osnr_penalty(benchmark, report):
+    measured = benchmark(run_cascades)
+
+    report("Fig 9  OSNR penalty vs amplifier count (emulated testbed chain)")
+    report(f"        {'amps':>6}{'closed form':>13}{'budget engine':>15}")
+    for n in range(1, 9):
+        report(f"        {n:>6}{cascade_penalty_db(n):>13.2f}{measured[n]:>15.2f}")
+    report(f"        first amp             paper ~4.5 dB measured {measured[1]:.2f} dB")
+    report(f"        per doubling          paper ~3 dB   measured "
+           f"{measured[8] - measured[4]:.2f} dB")
+    report(f"        amps in 9 dB budget   paper 3       measured "
+           f"{max_amplifiers_within_budget()}")
+
+    assert measured[1] == pytest.approx(4.5, abs=0.1)
+    for n in (1, 2, 4):
+        assert measured[2 * n] - measured[n] == pytest.approx(3.0, abs=0.1)
+    assert max_amplifiers_within_budget() == 3

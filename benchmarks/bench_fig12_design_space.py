@@ -1,0 +1,88 @@
+"""Fig 12(a)-(d): the design-space cost and port sweep.
+
+Paper (240 scenarios: 10 maps x n in {5,10,15,20} x f in {8,16,32} x
+lambda in {40,64}):
+
+* (a) EPS >= 5x Iris for 80% of scenarios; EPS/Hybrid ~ EPS/Iris;
+      in-network-only cost >= 10x for 80%.
+* (b) Iris keeps a substantial advantage at short-reach transceiver prices.
+* (c) EPS needs many times more in-network ports than DC ports; Iris < 1x
+      in most scenarios.
+* (d) Iris guaranteeing capacity under 2 failures is > 2x cheaper than an
+      EPS with no failure guarantees, across all scenarios.
+
+This bench runs the reduced grid (same axes, smaller values) sized for CI;
+``iris sweep --full`` reproduces the complete 240-point grid.
+"""
+
+from conftest import fraction, median
+
+
+def test_fig12a_cost_cdf(benchmark, mini_sweep_records, report):
+    records = benchmark(lambda: mini_sweep_records)
+    eps_iris = [r.eps_over_iris for r in records]
+    eps_hybrid = [r.eps_over_hybrid for r in records]
+    innet = [r.eps_over_iris_innetwork for r in records]
+
+    report(f"Fig 12a cost ratios over {len(records)} scenarios (mini grid)")
+    report(f"        EPS/Iris >= 5x        paper 80%     measured "
+           f"{fraction(eps_iris, lambda v: v >= 5) * 100:.0f}%")
+    report(f"        median EPS/Iris       paper ~7x     measured "
+           f"{median(eps_iris):.1f}x")
+    report(f"        median EPS/Hybrid     paper ~EPS/Iris measured "
+           f"{median(eps_hybrid):.1f}x")
+    report(f"        in-network >= 10x     paper 80%     measured "
+           f"{fraction(innet, lambda v: v >= 10) * 100:.0f}%")
+
+    assert fraction(eps_iris, lambda v: v >= 5) >= 0.8
+    assert median(eps_iris) >= 5.0
+    # Hybrid and Iris are "virtually identical".
+    assert all(
+        abs(a - b) / a < 0.2 for a, b in zip(eps_iris, eps_hybrid)
+    )
+    assert fraction(innet, lambda v: v >= 10) >= 0.7
+
+
+def test_fig12b_sr_prices(benchmark, mini_sweep_records, report):
+    records = benchmark(lambda: mini_sweep_records)
+    ratios = [r.eps_over_iris_sr for r in records]
+
+    report("Fig 12b EPS/Iris with DCI transceivers at short-reach prices")
+    report(f"        Iris still cheaper    paper all     measured "
+           f"{fraction(ratios, lambda v: v > 1) * 100:.0f}%")
+    report(f"        median ratio          paper ~3x     measured "
+           f"{median(ratios):.1f}x")
+
+    assert all(v > 1.0 for v in ratios)
+    assert median(ratios) >= 2.0
+
+
+def test_fig12c_port_ratio(benchmark, mini_sweep_records, report):
+    records = benchmark(lambda: mini_sweep_records)
+    eps_ports = [r.eps_port_ratio for r in records]
+    iris_ports = [r.iris_port_ratio for r in records]
+
+    report("Fig 12c in-network ports / DC ports")
+    report(f"        EPS median            paper ~10x    measured "
+           f"{median(eps_ports):.1f}x")
+    report(f"        Iris median           paper <1x     measured "
+           f"{median(iris_ports):.2f}x")
+    report(f"        Iris < 2x everywhere  paper yes     measured "
+           f"{fraction(iris_ports, lambda v: v < 2) * 100:.0f}%")
+
+    assert median(eps_ports) > 5.0
+    assert median(iris_ports) < 2.0
+    assert all(e > i for e, i in zip(eps_ports, iris_ports))
+
+
+def test_fig12d_failure_guarantees(benchmark, mini_sweep_records, report):
+    records = benchmark(lambda: mini_sweep_records)
+    ratios = [r.eps_tol0_over_iris for r in records]
+
+    report("Fig 12d unprotected EPS vs Iris tolerating 2 duct cuts")
+    report(f"        EPS0/Iris2 > 2x       paper all     measured "
+           f"{fraction(ratios, lambda v: v > 2) * 100:.0f}%")
+    report(f"        median ratio          paper ~4x     measured "
+           f"{median(ratios):.1f}x")
+
+    assert fraction(ratios, lambda v: v > 2) >= 0.9

@@ -1,0 +1,60 @@
+"""Fig 17: 99th-percentile FCT slowdown under reconfiguration.
+
+Paper panels sweep utilization {40%, 70%} x change regime {50% bounded,
+unbounded} x change interval 1-30 s. Headline: "with the exception of
+unbounded intensity changes at high utilization, the effect is minimal,
+especially for reconfiguration intervals of 10 sec or above"; bounded
+changes stay within ~2% at the 99th percentile.
+"""
+
+from repro.simulation.scenarios import ScenarioConfig, run_comparison
+
+INTERVALS = (1.0, 5.0, 10.0, 30.0)
+
+
+def run_panel(utilization: float, max_change: float | None):
+    out = {}
+    for interval in INTERVALS:
+        config = ScenarioConfig(
+            n_dcs=5,
+            utilization=utilization,
+            duration_s=24.0,
+            change_interval_s=interval,
+            max_change=max_change,
+            seed=17,
+        )
+        out[interval] = run_comparison(config).summary
+    return out
+
+
+def run_all_panels():
+    return {
+        (util, change): run_panel(util, change)
+        for util in (0.4, 0.7)
+        for change in (0.5, None)
+    }
+
+
+def test_fig17_fct_slowdown(benchmark, report):
+    panels = benchmark.pedantic(run_all_panels, rounds=1, iterations=1)
+
+    report("Fig 17 99th-pct FCT slowdown (Iris / EPS) vs change interval")
+    report(f"        {'panel':<26}" + "".join(f"{i:>7.0f}s" for i in INTERVALS))
+    for (util, change), summaries in panels.items():
+        label = f"{util * 100:.0f}% util, " + (
+            "unbounded" if change is None else f"{change * 100:.0f}% changes"
+        )
+        row = "".join(f"{summaries[i].p99_all:>8.3f}" for i in INTERVALS)
+        report(f"        {label:<26}{row}")
+    report("        paper: bounded <=1.02 at all intervals; only unbounded "
+           "at short intervals degrades")
+
+    for (util, change), summaries in panels.items():
+        if change is not None:
+            # Bounded changes: negligible at 10 s+ (we allow 5% slack for
+            # the fluid model's sampling noise).
+            for interval in (10.0, 30.0):
+                assert summaries[interval].p99_all <= 1.05
+    # Unbounded at 1 s hurts at least as much as at 30 s (70% panel).
+    unbounded = panels[(0.7, None)]
+    assert unbounded[1.0].p99_all >= unbounded[30.0].p99_all - 0.05

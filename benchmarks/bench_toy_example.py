@@ -1,0 +1,30 @@
+"""§3.4 / Fig 10: the motivating cost example, end to end.
+
+Paper: on the semi-distributed 4-DC topology, the electrical design needs
+F_E = 60 fiber-pairs and T_E = 4800 transceivers vs T_O = 1600 for Iris,
+making electrical ~2.7x costlier (2.73 with fiber+transceivers only).
+"""
+
+import pytest
+
+from repro.analysis.toy import toy_example_summary
+
+
+def test_toy_example(benchmark, report):
+    summary = benchmark(toy_example_summary)
+
+    report("§3.4   toy example (4 DCs x 160 Tbps, Fig 10 topology)")
+    report(f"        EPS fiber-pairs       paper 60      measured {summary.eps_fiber_pairs}")
+    report(f"        EPS transceivers      paper 4800    measured {summary.eps_transceivers}")
+    report(f"        Iris transceivers     paper 1600    measured {summary.iris_transceivers}")
+    report(f"        Iris fiber-pairs      paper 78      measured "
+           f"{summary.iris_fiber_pairs} (residual rule, see DESIGN.md)")
+    report(f"        EPS/Iris cost         paper 2.7x    measured {summary.cost_ratio:.2f}x")
+    report(f"        fiber+xcvr only       paper 2.73x   measured "
+           f"{summary.simplified_cost_ratio:.2f}x")
+
+    assert summary.eps_fiber_pairs == 60
+    assert summary.eps_transceivers == 4800
+    assert summary.iris_transceivers == 1600
+    assert summary.cost_ratio == pytest.approx(2.7, abs=0.45)
+    assert summary.simplified_cost_ratio == pytest.approx(2.73, abs=0.05)

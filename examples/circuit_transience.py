@@ -1,0 +1,47 @@
+"""Does circuit switching hurt applications? The §6.3 study in miniature.
+
+Runs paired Iris/EPS flow-level simulations across traffic-change regimes
+and reconfiguration intervals, printing the 99th-percentile FCT slowdowns
+that Figs 17-18 report. Expected shape: negligible (<~2%) slowdown for
+bounded traffic changes or long intervals; visible degradation only under
+unbounded change at second-scale intervals.
+
+Run:  python examples/circuit_transience.py        (~1-2 minutes)
+"""
+
+from repro.simulation import ScenarioConfig, run_comparison
+
+
+def run(label: str, **kwargs) -> None:
+    config = ScenarioConfig(
+        n_dcs=5, duration_s=12.0, seed=7, **kwargs
+    )
+    result = run_comparison(config)
+    s = result.summary
+    print(f"  {label:<38} p99={s.p99_all:5.3f}  p99(short)={s.p99_short:5.3f}  "
+          f"fibers moved={result.fibers_moved}")
+
+
+def main() -> None:
+    print("=== Fig 17: slowdown vs change regime (Iris / EPS, 99th pct) ===")
+    run("40% util, 10% changes, 5 s", utilization=0.4, max_change=0.1,
+        change_interval_s=5.0)
+    run("40% util, 50% changes, 5 s", utilization=0.4, max_change=0.5,
+        change_interval_s=5.0)
+    run("70% util, 50% changes, 1 s", utilization=0.7, max_change=0.5,
+        change_interval_s=1.0)
+    run("70% util, unbounded, 1 s", utilization=0.7, max_change=None,
+        change_interval_s=1.0)
+    run("70% util, unbounded, 10 s", utilization=0.7, max_change=None,
+        change_interval_s=10.0)
+
+    print("\n=== Fig 18: workloads at 40% util, 50% changes, 5 s ===")
+    for workload in ("web1", "web2", "hadoop", "cache"):
+        run(f"workload {workload}", utilization=0.4, max_change=0.5,
+            change_interval_s=5.0, workload=workload)
+
+    print("\n(paper: <2% slowdown except unbounded changes at 1 s intervals)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Siting flexibility and latency: why operators want distributed DCIs (§2).
+
+Reproduces the paper's two operational arguments on a synthetic ensemble:
+
+* Fig 3  — latency inflation of DC-hub-DC paths over direct DC-DC routes;
+* Figs 4-6 — how much more area is available for the *next* DC when the
+  region is distributed (within 120 km fiber of every DC) rather than
+  centralized (within 60 km fiber of both hubs).
+
+Run:  python examples/siting_study.py
+"""
+
+from repro.analysis.flexibility import flexibility_gains
+from repro.analysis.latency import (
+    cdf,
+    fraction_at_least,
+    latency_inflation_ratios,
+)
+from repro.region.catalog import region_ensemble
+from repro.region.siting import (
+    centralized_service_area,
+    distributed_service_area,
+    render_service_area,
+)
+
+
+def main() -> None:
+    print("building a 10-region synthetic ensemble...")
+    instances = region_ensemble(count=10, n_dcs_range=(5, 9))
+
+    print("\n=== Fig 3: latency inflation of hub paths ===")
+    ratios = latency_inflation_ratios(instances)
+    for threshold in (1.0, 1.5, 2.0, 4.0):
+        frac = fraction_at_least(ratios, threshold)
+        print(f"  paths with inflation >= {threshold:.1f}x: {frac * 100:5.1f}%")
+    points = cdf(ratios)
+    deciles = [points[int(len(points) * q) - 1] for q in (0.25, 0.5, 0.75, 0.9)]
+    for value, frac in deciles:
+        print(f"  CDF: {frac * 100:3.0f}% of paths inflate <= {value:.2f}x")
+    print("  (paper: inflation for >=60% of paths; >2x for more than 20%)")
+
+    print("\n=== Fig 6: siting-area gain of the distributed design ===")
+    gains = flexibility_gains(instances, spacing_km=4.0)
+    for name, gain in gains:
+        bar = "#" * int(round(gain * 4))
+        print(f"  {name:<16}{gain:5.1f}x  {bar}")
+    values = sorted(g for _, g in gains)
+    print(f"  median {values[len(values) // 2]:.1f}x "
+          f"(paper: 2-5x across 33 regions)")
+
+    print("\n=== Fig 5: one region's permissible areas, rendered ===")
+    instance = instances[0]
+    region = instance.spec
+    dc_points = [region.fiber_map.position(dc) for dc in region.dcs]
+    kwargs = dict(spacing_km=8.0, margin_km=48.0)
+    central = centralized_service_area(
+        region.fiber_map, instance.hubs, instance.extent_km, **kwargs
+    )
+    distributed = distributed_service_area(
+        region.fiber_map, instance.extent_km, **kwargs
+    )
+    print(f"centralized ({central.area_km2:.0f} km^2):")
+    print(render_service_area(central, dc_points))
+    print(f"\ndistributed ({distributed.area_km2:.0f} km^2):")
+    print(render_service_area(distributed, dc_points))
+    print("('#' = permissible site for the next DC, 'D' = existing DCs)")
+
+
+if __name__ == "__main__":
+    main()

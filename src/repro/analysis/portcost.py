@@ -1,0 +1,39 @@
+"""Fig 7: relative port-cost breakdown across the design spectrum."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cost.pricebook import PriceBook
+from repro.designs.portmodel import PortModel
+
+
+@dataclass(frozen=True)
+class PortCostRow:
+    """One bar group of Fig 7, normalized to the centralized electrical cost."""
+
+    groups: int
+    electrical: float
+    electrical_sr: float
+    optical: float
+    total_ports: int
+
+
+def port_cost_table(
+    n_dcs: int = 16, prices: PriceBook | None = None
+) -> list[PortCostRow]:
+    """The Fig 7 table for an ``n_dcs``-DC region."""
+    model = PortModel(n_dcs=n_dcs, prices=prices or PriceBook.default())
+    baseline = model.point(1).cost_electrical
+    rows = []
+    for point in model.sweep():
+        rows.append(
+            PortCostRow(
+                groups=point.groups,
+                electrical=point.cost_electrical / baseline,
+                electrical_sr=point.cost_electrical_sr / baseline,
+                optical=point.cost_optical / baseline,
+                total_ports=point.total_ports,
+            )
+        )
+    return rows

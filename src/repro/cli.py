@@ -1,0 +1,335 @@
+"""Command-line interface: ``iris <subcommand>``.
+
+Subcommands map onto the paper's workflow:
+
+* ``region``    — generate a synthetic region and describe or export it
+* ``plan``      — run the Iris planner on a region (built-in or JSON file)
+* ``cost``      — itemized Iris / EPS / hybrid cost comparison
+* ``portmodel`` — the §2.4 analytic port model (Fig 7)
+* ``sweep``     — the Fig 12 design-space sweep (mini grid by default)
+* ``simulate``  — one Iris-vs-EPS flow-level comparison (Figs 17-18)
+* ``testbed``   — the Fig 14 reconfiguration/BER experiment
+* ``analyze``   — latency inflation + siting flexibility over an ensemble
+* ``failover``  — a duct-cut drill through the control plane
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.exceptions import ReproError
+
+
+def _load_region(args):
+    from repro.region.catalog import make_region
+    from repro.serialize import region_from_json
+
+    if args.region_file:
+        return region_from_json(Path(args.region_file).read_text()), None
+    instance = make_region(
+        map_index=args.map_index,
+        n_dcs=args.dcs,
+        dc_fibers=args.fibers,
+        wavelengths_per_fiber=args.wavelengths,
+        failure_tolerance=args.tolerance,
+    )
+    return instance.spec, instance
+
+
+def _add_region_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--region-file", help="load a region JSON instead")
+    parser.add_argument("--map-index", type=int, default=0, help="catalog map (0-9)")
+    parser.add_argument("--dcs", type=int, default=5, help="number of DCs")
+    parser.add_argument("--fibers", type=int, default=8, help="fibers per DC")
+    parser.add_argument("--wavelengths", type=int, default=40)
+    parser.add_argument("--tolerance", type=int, default=2, help="duct cuts tolerated")
+
+
+def cmd_region(args) -> int:
+    """Generate or load a region and describe it."""
+    from repro.serialize import region_to_json
+
+    from repro.region.stats import region_summary
+
+    region, instance = _load_region(args)
+    fmap = region.fiber_map
+    print(f"region: {len(fmap.dcs)} DCs, {len(fmap.huts)} huts, {len(fmap.ducts)} ducts")
+    summary = region_summary(region)
+    print(f"  mean DC-DC distance: {summary['mean_pair_distance_km']} km "
+          f"(max {summary['max_pair_distance_km']} km, "
+          f"mean {summary['mean_pair_hops']} hops, "
+          f"route factor {summary['mean_route_factor']})")
+    for dc in fmap.dcs:
+        print(
+            f"  {dc}: {region.fibers(dc)} fibers "
+            f"({region.capacity_gbps(dc) / 1000:.0f} Tbps)"
+        )
+    if instance is not None:
+        print(f"  candidate hubs: {instance.hubs[0]}, {instance.hubs[1]}")
+    if args.out:
+        Path(args.out).write_text(region_to_json(region))
+        print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_plan(args) -> int:
+    """Run the Iris planner and summarize the plan."""
+    from repro.core.planner import plan_region
+    from repro.serialize import plan_to_json
+
+    region, _ = _load_region(args)
+    plan = plan_region(region)
+    print(f"scenarios: {len(plan.topology.scenario_paths)} enumerated "
+          f"(of {plan.topology.scenario_count_total} raw)")
+    print(f"base fiber-pairs: {plan.topology.total_fiber_pairs()}")
+    print(f"residual fiber-pair spans: {plan.residual_fiber_pairs()}")
+    print(f"in-line amplifiers: {plan.amplifiers.total_amplifiers} "
+          f"at {len(plan.amplifiers.site_counts)} site(s)")
+    print(f"cut-through links: {len(plan.cut_throughs)}")
+    violations = plan.validate()
+    print(f"constraint violations: {len(violations)}")
+    if args.out:
+        Path(args.out).write_text(plan_to_json(plan))
+        print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_cost(args) -> int:
+    """Itemized Iris / hybrid / EPS cost comparison."""
+    from repro.core.planner import plan_region
+    from repro.cost.estimator import estimate_cost
+    from repro.designs.eps import eps_inventory
+    from repro.designs.hybrid import hybridize
+
+    region, _ = _load_region(args)
+    plan = plan_region(region)
+    iris = estimate_cost(plan.inventory())
+    eps = estimate_cost(eps_inventory(region, plan.topology))
+    hybrid = estimate_cost(hybridize(plan).inventory())
+
+    print(f"{'design':<10}{'$/yr':>14}{'transceivers':>14}{'fiber':>12}"
+          f"{'switching':>12}{'amps':>10}")
+    for name, cost in (("iris", iris), ("hybrid", hybrid), ("eps", eps)):
+        switching = cost.oss_ports + cost.oxc_ports + cost.electrical_ports
+        print(
+            f"{name:<10}{cost.total:>14,.0f}{cost.transceivers:>14,.0f}"
+            f"{cost.fiber:>12,.0f}{switching:>12,.0f}{cost.amplifiers:>10,.0f}"
+        )
+    print(f"EPS / Iris cost ratio: {eps.total / iris.total:.2f}x")
+    return 0
+
+
+def cmd_portmodel(args) -> int:
+    """Print the Fig 7 analytic port-cost table."""
+    from repro.analysis.portcost import port_cost_table
+
+    print(f"{'groups':>8}{'ports':>8}{'electrical':>12}{'with SR':>10}{'optical':>10}")
+    for row in port_cost_table(n_dcs=args.dcs):
+        print(
+            f"{row.groups:>8}{row.total_ports:>8}{row.electrical:>12.2f}"
+            f"{row.electrical_sr:>10.2f}{row.optical:>10.2f}"
+        )
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """Run the Fig 12 design-space sweep and print ratios."""
+    from repro.analysis.designspace import (
+        default_mini_sweep,
+        full_paper_sweep,
+        run_sweep,
+    )
+
+    points = full_paper_sweep() if args.full else default_mini_sweep()
+    if args.limit:
+        points = points[: args.limit]
+    records = run_sweep(points)
+    print(f"{'map':>4}{'n':>4}{'f':>4}{'lam':>5}{'EPS/Iris':>10}"
+          f"{'EPS/Hybrid':>12}{'in-net':>8}{'EPS0/Iris2':>12}")
+    for r in records:
+        p = r.point
+        print(
+            f"{p.map_index:>4}{p.n_dcs:>4}{p.dc_fibers:>4}{p.wavelengths:>5}"
+            f"{r.eps_over_iris:>10.1f}{r.eps_over_hybrid:>12.1f}"
+            f"{r.eps_over_iris_innetwork:>8.1f}{r.eps_tol0_over_iris:>12.2f}"
+        )
+    ratios = sorted(r.eps_over_iris for r in records)
+    print(f"median EPS/Iris: {ratios[len(ratios) // 2]:.1f}x "
+          f"(min {ratios[0]:.1f}, max {ratios[-1]:.1f})")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    """One Iris-vs-EPS flow-level comparison."""
+    from repro.simulation.scenarios import ScenarioConfig, run_comparison
+
+    config = ScenarioConfig(
+        n_dcs=args.dcs,
+        utilization=args.utilization,
+        workload=args.workload,
+        duration_s=args.duration,
+        change_interval_s=args.interval,
+        max_change=None if args.unbounded else args.change,
+        seed=args.seed,
+    )
+    result = run_comparison(config)
+    s = result.summary
+    print(f"flows: {s.iris_flows} (unfinished: {s.iris_unfinished})")
+    print(f"reconfigurations: {result.reconfigurations}, "
+          f"fibers moved: {result.fibers_moved}")
+    print(f"99th-pct FCT slowdown (Iris/EPS): all={s.p99_all:.3f} "
+          f"short={s.p99_short:.3f} median={s.p50_all:.3f}")
+    return 0
+
+
+def cmd_testbed(args) -> int:
+    """Run the Fig 14 reconfiguration/BER experiment."""
+    from repro.testbed.experiments import run_reconfiguration_experiment
+
+    summary = run_reconfiguration_experiment(
+        duration_s=args.duration,
+        reconfig_period_s=args.period,
+        two_huts=args.two_huts,
+    )
+    print(f"reconfigurations: {summary.reconfigurations}")
+    print(f"max pre-FEC BER: {summary.max_prefec_ber:.2e} "
+          f"(SD-FEC threshold {summary.fec_threshold:.0e})")
+    print(f"recovery time: {summary.recovery_time_s * 1000:.0f} ms")
+    print(f"signal availability: {summary.availability() * 100:.3f}%")
+    print(f"error-free post-FEC: {summary.always_below_threshold}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    """Latency-inflation and siting-flexibility summaries."""
+    from repro.analysis.flexibility import flexibility_gains
+    from repro.analysis.latency import fraction_at_least, latency_inflation_ratios
+    from repro.region.catalog import region_ensemble
+
+    instances = region_ensemble(count=args.regions, n_dcs_range=(5, 9))
+    ratios = latency_inflation_ratios(instances)
+    print(f"latency inflation over {len(ratios)} DC pairs "
+          f"({args.regions} regions):")
+    for threshold in (1.0, 1.5, 2.0, 4.0):
+        frac = fraction_at_least(ratios, threshold)
+        print(f"  >= {threshold:.1f}x: {frac * 100:5.1f}%")
+    gains = flexibility_gains(instances, spacing_km=4.0)
+    values = sorted(g for _, g in gains)
+    print(f"siting-area gain (distributed / centralized): "
+          f"median {values[len(values) // 2]:.1f}x, "
+          f"range {values[0]:.1f}-{values[-1]:.1f}x")
+    return 0
+
+
+def cmd_failover(args) -> int:
+    """Duct-cut drill: light circuits, cut, fail over, repair."""
+    from repro.control.controller import IrisController
+    from repro.core.planner import plan_region
+    from repro.region.fibermap import duct_key
+
+    region, _ = _load_region(args)
+    plan = plan_region(region)
+    controller = IrisController(plan)
+    dcs = region.dcs
+    demand = {
+        (dcs[i], dcs[i + 1]): region.capacity_gbps(dcs[i]) / 4
+        for i in range(len(dcs) - 1)
+    }
+    controller.apply_demands(demand)
+    print(f"lit circuits: {dict(controller.current_target.fibers)}")
+
+    # Cut the busiest duct on any lit path.
+    base = plan.topology.base_paths
+    duct_use: dict[tuple, int] = {}
+    for pair in controller.current_target.pairs():
+        path = base[pair]
+        for u, v in zip(path, path[1:]):
+            duct_use[duct_key(u, v)] = duct_use.get(duct_key(u, v), 0) + 1
+    cut = max(duct_use, key=lambda d: (duct_use[d], d))
+    print(f"cutting duct {cut} (carries {duct_use[cut]} circuit group(s))")
+    report = controller.report_duct_failure(*cut)
+    print(f"failover: drained={list(report.drained_pairs)} "
+          f"connects={report.connects} disconnects={report.disconnects} "
+          f"dataplane-impact={report.duration_s * 1000:.0f} ms")
+    print(f"audit: {controller.audit() or 'clean'}")
+    report = controller.report_duct_repair(*cut)
+    print(f"repair: drained={list(report.drained_pairs)} "
+          f"restored shortest paths, audit "
+          f"{controller.audit() or 'clean'}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The iris argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="iris",
+        description="Regional DCI planning and evaluation (SIGCOMM'20 Iris reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("region", help="generate/describe a region")
+    _add_region_args(p)
+    p.add_argument("--out", help="write region JSON here")
+    p.set_defaults(func=cmd_region)
+
+    p = sub.add_parser("plan", help="run the Iris planner")
+    _add_region_args(p)
+    p.add_argument("--out", help="write plan JSON here")
+    p.set_defaults(func=cmd_plan)
+
+    p = sub.add_parser("cost", help="Iris vs EPS vs hybrid costs")
+    _add_region_args(p)
+    p.set_defaults(func=cmd_cost)
+
+    p = sub.add_parser("portmodel", help="the §2.4 analytic port model")
+    p.add_argument("--dcs", type=int, default=16)
+    p.set_defaults(func=cmd_portmodel)
+
+    p = sub.add_parser("sweep", help="the Fig 12 design-space sweep")
+    p.add_argument("--full", action="store_true", help="run all 240 scenarios")
+    p.add_argument("--limit", type=int, default=0, help="only the first N points")
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("simulate", help="flow-level Iris vs EPS comparison")
+    p.add_argument("--dcs", type=int, default=6)
+    p.add_argument("--utilization", type=float, default=0.4)
+    p.add_argument("--workload", default="web1")
+    p.add_argument("--duration", type=float, default=15.0)
+    p.add_argument("--interval", type=float, default=5.0)
+    p.add_argument("--change", type=float, default=0.5)
+    p.add_argument("--unbounded", action="store_true")
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("testbed", help="the Fig 14 BER/reconfiguration run")
+    p.add_argument("--duration", type=float, default=300.0)
+    p.add_argument("--period", type=float, default=60.0)
+    p.add_argument("--two-huts", action="store_true")
+    p.set_defaults(func=cmd_testbed)
+
+    p = sub.add_parser("analyze", help="latency + siting analysis (Figs 3, 6)")
+    p.add_argument("--regions", type=int, default=10)
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("failover", help="duct-cut drill via the controller")
+    _add_region_args(p)
+    p.set_defaults(func=cmd_failover)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""The Iris control plane (§5): a centralized controller that gathers DC-DC
+demands and drives simulated optical devices (OSSes, amplifiers, tunable
+transceivers, channel emulators) through drain -> reconfigure -> verify."""
+
+from repro.control.devices import (
+    AmplifierDevice,
+    ChannelEmulatorDevice,
+    DeviceRegistry,
+    FaultInjector,
+    SpaceSwitchDevice,
+    TransceiverDevice,
+    Transport,
+)
+from repro.control.wavelengths import WavelengthAssignment, pack_transceivers
+from repro.control.controller import CircuitTarget, IrisController, compute_target
+from repro.control.reconfigure import ReconfigurationReport
+from repro.control.telemetry import DemandEstimator
+
+__all__ = [
+    "AmplifierDevice",
+    "ChannelEmulatorDevice",
+    "DeviceRegistry",
+    "FaultInjector",
+    "SpaceSwitchDevice",
+    "TransceiverDevice",
+    "Transport",
+    "WavelengthAssignment",
+    "pack_transceivers",
+    "CircuitTarget",
+    "IrisController",
+    "compute_target",
+    "ReconfigurationReport",
+    "DemandEstimator",
+]

@@ -1,0 +1,358 @@
+"""The centralized Iris controller (§5.2).
+
+Gathers DC-DC traffic demands, translates them into per-pair fiber circuits
+over the planned paths, and drives the device layer: OSS cross-connects
+network-wide, then per-DC transceiver tuning and ASE channel fill. All
+wavelength management stays DC-local; no amplifier is ever adjusted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.control.devices import (
+    ChannelEmulatorDevice,
+    DeviceRegistry,
+    FaultInjector,
+    PortLabel,
+    SpaceSwitchDevice,
+)
+from repro.control.reconfigure import ReconfigurationReport, apply_reconfiguration
+from repro.control.wavelengths import pack_transceivers
+from repro.core.failures import Scenario
+from repro.core.plan import IrisPlan, Pair
+from repro.exceptions import ControlPlaneError
+from repro.region.fibermap import pair_key
+
+
+@dataclass(frozen=True)
+class CircuitTarget:
+    """Fiber-pairs to light per DC pair, with the wavelength demand behind
+    them (used for per-DC transceiver packing; defaults to full fibers)."""
+
+    fibers: Mapping[Pair, int]
+    wavelengths: Mapping[Pair, int] | None = None
+
+    def total(self) -> int:
+        """Total lit fiber-pairs."""
+        return sum(self.fibers.values())
+
+    def pairs(self) -> list[Pair]:
+        """Pairs with at least one lit fiber."""
+        return sorted(p for p, f in self.fibers.items() if f > 0)
+
+    def wavelengths_for(self, pair: Pair, per_fiber: int) -> int:
+        """Live wavelengths toward a pair (capped by its lit fibers)."""
+        fibers = self.fibers.get(pair, 0)
+        if self.wavelengths is None:
+            return fibers * per_fiber
+        return min(self.wavelengths.get(pair, 0), fibers * per_fiber)
+
+
+def compute_target(plan: IrisPlan, demands_gbps: Mapping[Pair, float]) -> CircuitTarget:
+    """Translate a DC-DC traffic matrix into whole-fiber circuits.
+
+    Demands round up to fiber granularity (§4.3); the hose constraints are
+    enforced: a matrix the DCs cannot generate is rejected rather than
+    silently clipped. Each pair can always afford its rounding thanks to the
+    provisioned residual fiber.
+    """
+    region = plan.region
+    per_fiber_gbps = region.wavelengths_per_fiber * region.gbps_per_wavelength
+    egress: dict[str, float] = {dc: 0.0 for dc in region.dcs}
+    fibers: dict[Pair, int] = {}
+    wavelengths: dict[Pair, int] = {}
+    for raw_pair, gbps in demands_gbps.items():
+        pair = pair_key(*raw_pair)
+        if gbps < 0:
+            raise ControlPlaneError(f"negative demand for {pair}")
+        if gbps == 0:
+            continue
+        a, b = pair
+        if a not in egress or b not in egress:
+            raise ControlPlaneError(f"unknown DC in pair {pair}")
+        egress[a] += gbps
+        egress[b] += gbps
+        fibers[pair] = math.ceil(gbps / per_fiber_gbps)
+        wavelengths[pair] = math.ceil(gbps / region.gbps_per_wavelength)
+    for dc, load in egress.items():
+        if load > region.capacity_gbps(dc) + 1e-6:
+            raise ControlPlaneError(
+                f"traffic matrix exceeds {dc}'s hose capacity: "
+                f"{load:.0f} > {region.capacity_gbps(dc):.0f} Gbps"
+            )
+    return CircuitTarget(fibers=fibers, wavelengths=wavelengths)
+
+
+class IrisController:
+    """Owns the device layer for one planned region and reconciles it."""
+
+    def __init__(
+        self,
+        plan: IrisPlan,
+        faults: FaultInjector | None = None,
+        scenario: Scenario = Scenario(),
+    ) -> None:
+        self.plan = plan
+        self.scenario = scenario
+        self.registry = DeviceRegistry()
+        self._faults = faults
+        self._current_target = CircuitTarget(fibers={})
+        self._current_connections: dict[str, dict[PortLabel, PortLabel]] = {}
+        self._failed_ducts: set = set(scenario)
+        #: Per-DC transceiver packing from the last reconciliation.
+        self.wavelength_assignments: dict = {}
+        self._build_devices()
+
+    # -- device construction -------------------------------------------------
+
+    def _build_devices(self) -> None:
+        nodes = self.plan.topology.used_nodes()
+        for node in sorted(nodes):
+            self.registry.add(SpaceSwitchDevice(f"oss:{node}"), self._faults)
+        for dc in self.plan.region.dcs:
+            self.registry.add(
+                ChannelEmulatorDevice(
+                    f"ase:{dc}",
+                    channels=self.plan.region.wavelengths_per_fiber,
+                ),
+                self._faults,
+            )
+
+    # -- state ------------------------------------------------------------------
+
+    @property
+    def current_target(self) -> CircuitTarget:
+        """The last reconciled circuit target."""
+        return self._current_target
+
+    def oss_name(self, node: str) -> str:
+        """Registry name of the OSS at ``node``."""
+        return f"oss:{node}"
+
+    # -- reconciliation ------------------------------------------------------------
+
+    def connections_for(self, target: CircuitTarget) -> dict[str, dict]:
+        """Network-wide OSS cross-connect maps realizing ``target``.
+
+        Each lit fiber of a pair is switched at every effective switching
+        point of the pair's planned path, in both directions.
+        """
+        conns: dict[str, dict[PortLabel, PortLabel]] = {}
+
+        def connect(device: str, in_port: PortLabel, out_port: PortLabel) -> None:
+            dev = conns.setdefault(device, {})
+            if in_port in dev:
+                raise ControlPlaneError(
+                    f"{device}: port {in_port!r} double-booked"
+                )
+            dev[in_port] = out_port
+
+        for pair in target.pairs():
+            count = target.fibers[pair]
+            path = self.plan.effective_paths.get((self.scenario, pair))
+            if path is None:
+                raise ControlPlaneError(f"no planned path for {pair}")
+            nodes = path.nodes
+            for fiber in range(count):
+                for direction, ordered in (("fwd", nodes), ("rev", tuple(reversed(nodes)))):
+                    for i, node in enumerate(ordered):
+                        device = self.oss_name(node)
+                        if i == 0:
+                            in_port = ("add", pair, fiber, direction)
+                        else:
+                            in_port = ("duct", ordered[i - 1], node, pair, fiber, direction)
+                        if i == len(ordered) - 1:
+                            out_port = ("drop", pair, fiber, direction)
+                        else:
+                            out_port = ("duct", node, ordered[i + 1], pair, fiber, direction)
+                        if node == path.amp_node:
+                            # Loopback amplification (§5.1): route the fiber
+                            # through an amplifier port pair and back into
+                            # the OSS before it leaves the site.
+                            amp_key = (pair, fiber, direction)
+                            connect(device, in_port, ("amp-in", amp_key))
+                            connect(device, ("amp-out", amp_key), out_port)
+                        else:
+                            connect(device, in_port, out_port)
+        return conns
+
+    def reconcile(
+        self, target: CircuitTarget, max_retries: int = 3
+    ) -> ReconfigurationReport:
+        """Drive the device layer from the current state to ``target``."""
+        new_connections = self.connections_for(target)
+        drained = self._pairs_with_changes(target)
+        report = apply_reconfiguration(
+            self.registry,
+            self._current_connections,
+            new_connections,
+            drained_pairs=drained,
+            max_retries=max_retries,
+        )
+        self._current_connections = new_connections
+        self._current_target = target
+        self._retune_dcs(target, max_retries)
+        return report
+
+    def apply_demands(
+        self, demands_gbps: Mapping[Pair, float], max_retries: int = 3
+    ) -> ReconfigurationReport:
+        """Convenience: compute the circuit target and reconcile."""
+        return self.reconcile(compute_target(self.plan, demands_gbps), max_retries)
+
+    def _pairs_with_changes(self, target: CircuitTarget) -> tuple[Pair, ...]:
+        """Pairs whose lit-fiber set changes (these get drained)."""
+        current = dict(self._current_target.fibers)
+        changed = []
+        for pair in set(current) | set(target.fibers):
+            if current.get(pair, 0) != target.fibers.get(pair, 0):
+                changed.append(pair)
+        return tuple(sorted(changed))
+
+    def _retune_dcs(self, target: CircuitTarget, max_retries: int) -> None:
+        """Per-DC wavelength management (§5.1-5.2).
+
+        Each DC independently packs its tunable transceivers into the
+        fibers lit toward each destination
+        (:func:`repro.control.wavelengths.pack_transceivers`) and programs
+        its ASE channel emulator so every outgoing fiber carries a full
+        C-band: live channels where transceivers transmit, ASE elsewhere.
+        """
+        lam = self.plan.region.wavelengths_per_fiber
+        self.wavelength_assignments = {}
+        for dc in self.plan.region.dcs:
+            demands: dict[str, int] = {}
+            fibers: dict[str, int] = {}
+            for pair, count in target.fibers.items():
+                if dc not in pair or count == 0:
+                    continue
+                other = pair[0] if pair[1] == dc else pair[1]
+                fibers[other] = count
+                demands[other] = target.wavelengths_for(pair, lam)
+            # Per-pair ceilings can overshoot the DC's transceiver pool by
+            # a few units (the fractional remainders ride residual fibers,
+            # but transceivers are bounded by f x lambda): trim the largest
+            # demands down to the pool.
+            total = self.plan.region.transceivers(dc)
+            while sum(demands.values()) > total:
+                busiest = max(demands, key=lambda d: (demands[d], d))
+                demands[busiest] -= 1
+            assignment = pack_transceivers(
+                demands,
+                fibers,
+                lam,
+                total_transceivers=self.plan.region.transceivers(dc),
+            )
+            self.wavelength_assignments[dc] = assignment
+
+            transport = self.registry.get(f"ase:{dc}")
+            self._call_with_retries(
+                transport, "clear_fibers", max_retries=max_retries
+            )
+            for dest, count in fibers.items():
+                for fiber_index in range(count):
+                    live = frozenset(
+                        assignment.channels_on_fiber(dest, fiber_index)
+                    )
+                    self._call_with_retries(
+                        transport,
+                        "set_fiber_live",
+                        (dest, fiber_index),
+                        live,
+                        max_retries=max_retries,
+                    )
+
+    @staticmethod
+    def _call_with_retries(transport, method, *args, max_retries: int):
+        from repro.exceptions import DeviceError
+
+        attempts = 0
+        while True:
+            try:
+                return transport.call(method, *args)
+            except DeviceError as exc:
+                if "transient" not in str(exc):
+                    raise
+                attempts += 1
+                if attempts > max_retries:
+                    raise ControlPlaneError(
+                        f"device {transport.device.name} kept failing {method}"
+                    ) from exc
+
+    # -- failure handling ----------------------------------------------------------
+
+    @property
+    def failed_ducts(self) -> frozenset:
+        """Ducts currently reported as cut."""
+        return frozenset(self._failed_ducts)
+
+    def report_duct_failure(self, u: str, v: str, max_retries: int = 3):
+        """React to a duct cut (OC4): move circuits to surviving paths.
+
+        Resolves the failure set to the planner's pre-enumerated scenario
+        and reconciles the current circuit target onto that scenario's
+        paths. Raises :class:`ControlPlaneError` when the cut count exceeds
+        the planned tolerance — the network was never provisioned for it.
+        """
+        from repro.exceptions import PlanningError
+        from repro.region.fibermap import duct_key
+
+        self._failed_ducts.add(duct_key(u, v))
+        try:
+            scenario = self.plan.scenario_for_failures(self._failed_ducts)
+        except PlanningError as exc:
+            raise ControlPlaneError(str(exc)) from exc
+        return self._switch_scenario(scenario, max_retries)
+
+    def report_duct_repair(self, u: str, v: str, max_retries: int = 3):
+        """Return to shorter paths once a duct is repaired."""
+        from repro.region.fibermap import duct_key
+
+        self._failed_ducts.discard(duct_key(u, v))
+        scenario = self.plan.scenario_for_failures(self._failed_ducts)
+        return self._switch_scenario(scenario, max_retries)
+
+    def _switch_scenario(self, scenario: Scenario, max_retries: int):
+        if scenario == self.scenario:
+            # Paths unchanged (the cut duct carried no circuits).
+            return self.reconcile(self._current_target, max_retries)
+        old_paths = {
+            pair: self.plan.effective_paths[(self.scenario, pair)].nodes
+            for pair in self._current_target.pairs()
+        }
+        self.scenario = scenario
+        drained = tuple(
+            sorted(
+                pair
+                for pair in self._current_target.pairs()
+                if self.plan.effective_paths[(scenario, pair)].nodes
+                != old_paths[pair]
+            )
+        )
+        new_connections = self.connections_for(self._current_target)
+        report = apply_reconfiguration(
+            self.registry,
+            self._current_connections,
+            new_connections,
+            drained_pairs=drained,
+            max_retries=max_retries,
+        )
+        self._current_connections = new_connections
+        return report
+
+    # -- audit -------------------------------------------------------------------
+
+    def audit(self) -> list[str]:
+        """Check that device state matches the intended connections (§5.2's
+        'checking that the devices are in expected state')."""
+        problems = []
+        for device, expected in self._current_connections.items():
+            actual = self._call_with_retries(
+                self.registry.get(device), "connections", max_retries=5
+            )
+            if actual != dict(expected):
+                problems.append(f"{device}: state drift")
+        return problems

@@ -1,0 +1,286 @@
+"""Simulated optical devices behind a faultable transport.
+
+The paper's testbed controller (~9K LoC of Python) talks to physical devices
+over serial, HTTPS, and NetConf/REST. Here the devices are simulated, but
+the control plane retains the same shape: every command goes through a
+:class:`Transport` that can inject transient faults and latency, devices
+validate commands and hold state, and the controller must verify that the
+network converged rather than assume its commands took effect.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.exceptions import DeviceError
+
+#: OSS ports are unidirectional and identified by hashable labels; the
+#: controller uses structured tuples like ("duct", "A", "H1", 0, "in").
+PortLabel = Any
+
+
+class SpaceSwitchDevice:
+    """An optical space switch: a reconfigurable bijection between ports.
+
+    Connections are unidirectional (a Polatis-style OSS switches each fiber
+    direction independently); the device rejects double-booked inputs or
+    outputs, like real hardware raising a cross-connect conflict.
+    """
+
+    kind = "oss"
+
+    def __init__(self, name: str, switch_time_s: float = 0.020) -> None:
+        self.name = name
+        self.switch_time_s = switch_time_s
+        self._connections: dict[PortLabel, PortLabel] = {}
+
+    def connect(self, in_port: PortLabel, out_port: PortLabel) -> None:
+        """Cross-connect an input port to an output port."""
+        if in_port in self._connections:
+            raise DeviceError(
+                f"{self.name}: input {in_port!r} already connected to "
+                f"{self._connections[in_port]!r}"
+            )
+        if out_port in self._connections.values():
+            raise DeviceError(f"{self.name}: output {out_port!r} already in use")
+        self._connections[in_port] = out_port
+
+    def disconnect(self, in_port: PortLabel) -> None:
+        """Tear down the cross-connect on ``in_port``."""
+        if in_port not in self._connections:
+            raise DeviceError(f"{self.name}: input {in_port!r} not connected")
+        del self._connections[in_port]
+
+    def connections(self) -> dict[PortLabel, PortLabel]:
+        """Snapshot of the current cross-connect map."""
+        return dict(self._connections)
+
+    def is_connected(self, in_port: PortLabel, out_port: PortLabel) -> bool:
+        """Whether ``in_port`` currently feeds ``out_port``."""
+        return self._connections.get(in_port) == out_port
+
+    def reset(self) -> None:
+        """Drop every cross-connect (factory state)."""
+        self._connections.clear()
+
+
+class AmplifierDevice:
+    """A fixed-gain EDFA: enabled/disabled, gain never adjusted online (TC3)."""
+
+    kind = "amplifier"
+
+    def __init__(self, name: str, gain_db: float = 20.0) -> None:
+        self.name = name
+        self.gain_db = gain_db
+        self.enabled = True
+
+    def enable(self) -> None:
+        """Turn the pump on."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Turn the pump off."""
+        self.enabled = False
+
+    def set_gain(self, gain_db: float) -> None:
+        """Reject online gain changes: Iris explicitly avoids them (§5.1)."""
+        raise DeviceError(
+            f"{self.name}: amplifier gain is a one-time design decision; "
+            "online gain management is not supported"
+        )
+
+    def status(self) -> dict[str, Any]:
+        """Operational state snapshot."""
+        return {"enabled": self.enabled, "gain_db": self.gain_db}
+
+
+class TransceiverDevice:
+    """A tunable coherent transceiver: channel index and enable state."""
+
+    kind = "transceiver"
+
+    def __init__(self, name: str, channels: int = 40) -> None:
+        self.name = name
+        self.channels = channels
+        self.channel: int | None = None
+        self.enabled = False
+
+    def tune(self, channel: int) -> None:
+        """Tune the laser to a DWDM channel index."""
+        if not (0 <= channel < self.channels):
+            raise DeviceError(
+                f"{self.name}: channel {channel} outside 0..{self.channels - 1}"
+            )
+        self.channel = channel
+
+    def enable(self) -> None:
+        """Start transmitting (requires a tuned channel)."""
+        if self.channel is None:
+            raise DeviceError(f"{self.name}: cannot enable before tuning")
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop transmitting."""
+        self.enabled = False
+
+    def status(self) -> dict[str, Any]:
+        """Operational state snapshot."""
+        return {"channel": self.channel, "enabled": self.enabled}
+
+
+class ChannelEmulatorDevice:
+    """The ASE channel emulator: fills non-live channels (§5.1).
+
+    Supports a whole-site live set (the testbed's usage) and per-fiber live
+    sets (the controller's usage: each outgoing fiber carries its own mix
+    of live channels and ASE fill, always summing to the full C-band).
+    """
+
+    kind = "channel_emulator"
+
+    def __init__(self, name: str, channels: int = 40) -> None:
+        self.name = name
+        self.channels = channels
+        self._live: frozenset[int] = frozenset()
+        self._fiber_live: dict[Any, frozenset[int]] = {}
+
+    def _check(self, live) -> frozenset[int]:
+        live = frozenset(live)
+        bad = [c for c in live if not (0 <= c < self.channels)]
+        if bad:
+            raise DeviceError(f"{self.name}: channels out of range: {sorted(bad)}")
+        return live
+
+    def set_live(self, live: frozenset[int]) -> None:
+        """Declare the site-wide live channels; the rest get ASE fill."""
+        self._live = self._check(live)
+
+    def set_fiber_live(self, fiber: Any, live: frozenset[int]) -> None:
+        """Declare one outgoing fiber's live channels."""
+        self._fiber_live[fiber] = self._check(live)
+
+    def clear_fibers(self) -> None:
+        """Forget all per-fiber channel plans."""
+        self._fiber_live.clear()
+
+    def emulated(self) -> frozenset[int]:
+        """Channels currently filled with ASE at site level."""
+        return frozenset(range(self.channels)) - self._live
+
+    def fiber_emulated(self, fiber: Any) -> frozenset[int]:
+        """Channels ASE-filled on one fiber."""
+        return frozenset(range(self.channels)) - self._fiber_live.get(
+            fiber, frozenset()
+        )
+
+    def fiber_status(self) -> dict[Any, dict[str, list[int]]]:
+        """Live/emulated channel plan per outgoing fiber."""
+        return {
+            fiber: {
+                "live": sorted(live),
+                "emulated": sorted(self.fiber_emulated(fiber)),
+            }
+            for fiber, live in sorted(self._fiber_live.items())
+        }
+
+    def status(self) -> dict[str, Any]:
+        """Site-level live/emulated snapshot."""
+        return {"live": sorted(self._live), "emulated": sorted(self.emulated())}
+
+
+@dataclass
+class FaultInjector:
+    """Transient-fault model for a transport.
+
+    ``failure_rate``
+        Probability that any single command attempt fails with a transient
+        :class:`DeviceError` (connection reset, timeout, ...).
+    ``fail_next``
+        Force the next ``fail_next`` attempts to fail, regardless of rate
+        (for deterministic tests of retry logic).
+    """
+
+    failure_rate: float = 0.0
+    seed: int = 0
+    fail_next: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.failure_rate < 1.0):
+            raise DeviceError("failure rate must be in [0, 1)")
+        self._rng = random.Random(self.seed)
+
+    def should_fail(self) -> bool:
+        """Decide whether the next command attempt fails transiently."""
+        if self.fail_next > 0:
+            self.fail_next -= 1
+            return True
+        return self._rng.random() < self.failure_rate
+
+
+class Transport:
+    """RPC-ish access to one device, with fault injection and an op log.
+
+    Mirrors how the real controller multiplexes serial/HTTPS/NetConf: the
+    caller invokes named methods and must treat any call as able to fail
+    transiently.
+    """
+
+    def __init__(self, device: Any, faults: FaultInjector | None = None) -> None:
+        self.device = device
+        self.faults = faults or FaultInjector()
+        self.log: list[tuple[str, tuple, dict]] = []
+        self.calls = 0
+
+    def call(self, method: str, *args: Any, **kwargs: Any) -> Any:
+        """Invoke a device method across the (faultable) transport."""
+        self.calls += 1
+        self.log.append((method, args, kwargs))
+        if self.faults.should_fail():
+            raise DeviceError(
+                f"transient failure talking to {self.device.name} ({method})"
+            )
+        handler: Callable | None = getattr(self.device, method, None)
+        if handler is None or not callable(handler):
+            raise DeviceError(f"{self.device.name}: unknown command {method!r}")
+        return handler(*args, **kwargs)
+
+
+class DeviceRegistry:
+    """Name -> transport directory for a whole region's devices."""
+
+    def __init__(self) -> None:
+        self._transports: dict[str, Transport] = {}
+
+    def add(self, device: Any, faults: FaultInjector | None = None) -> Transport:
+        """Register a device and return its transport."""
+        if device.name in self._transports:
+            raise DeviceError(f"device {device.name!r} already registered")
+        transport = Transport(device, faults)
+        self._transports[device.name] = transport
+        return transport
+
+    def get(self, name: str) -> Transport:
+        """Look up a device's transport by name."""
+        try:
+            return self._transports[name]
+        except KeyError:
+            raise DeviceError(f"unknown device {name!r}") from None
+
+    def names(self) -> list[str]:
+        """All registered device names."""
+        return sorted(self._transports)
+
+    def by_kind(self, kind: str) -> list[Transport]:
+        """All transports whose device is of ``kind``."""
+        return [
+            t
+            for _, t in sorted(self._transports.items())
+            if t.device.kind == kind
+        ]
+
+    def total_calls(self) -> int:
+        """Commands issued across every device (including retries)."""
+        return sum(t.calls for t in self._transports.values())

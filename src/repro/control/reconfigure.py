@@ -1,0 +1,150 @@
+"""Drain -> reconfigure -> verify orchestration (§5.2).
+
+When the controller decides a reconfiguration is needed, it first drains
+traffic from paths being torn down, then reconfigures OSSes network-wide,
+then verifies device state. Transient device failures are retried; only
+after verification does traffic return.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.control.devices import DeviceRegistry, PortLabel, Transport
+from repro.exceptions import ControlPlaneError, DeviceError
+from repro.units import SIGNAL_RECOVERY_TIME_S
+
+#: One cross-connect instruction: (device name, input port, output port).
+Connection = tuple[str, PortLabel, PortLabel]
+
+
+@dataclass
+class ReconfigurationReport:
+    """What one reconciliation pass did."""
+
+    connects: int = 0
+    disconnects: int = 0
+    retries: int = 0
+    drained_pairs: tuple = ()
+    duration_s: float = 0.0
+    verified: bool = False
+    commands: list[tuple[str, str, PortLabel]] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        """Whether any cross-connect actually moved."""
+        return bool(self.connects or self.disconnects)
+
+
+def _with_retries(
+    transport: Transport,
+    method: str,
+    *args: Any,
+    max_retries: int,
+    report: ReconfigurationReport,
+) -> Any:
+    attempts = 0
+    while True:
+        try:
+            return transport.call(method, *args)
+        except DeviceError as exc:
+            # Hard device-side rejections (conflicts, unknown commands) are
+            # not retryable; only transport-transient failures are.
+            if "transient" not in str(exc):
+                raise
+            attempts += 1
+            report.retries += 1
+            if attempts > max_retries:
+                raise ControlPlaneError(
+                    f"device {transport.device.name} kept failing "
+                    f"{method} after {max_retries} retries"
+                ) from exc
+
+
+def diff_connections(
+    current: Mapping[str, Mapping[PortLabel, PortLabel]],
+    target: Mapping[str, Mapping[PortLabel, PortLabel]],
+) -> tuple[list[Connection], list[Connection]]:
+    """(to_disconnect, to_connect) between two network-wide OSS states."""
+    to_disconnect: list[Connection] = []
+    to_connect: list[Connection] = []
+    devices = set(current) | set(target)
+    for device in sorted(devices):
+        cur = current.get(device, {})
+        tgt = target.get(device, {})
+        for in_port, out_port in cur.items():
+            if tgt.get(in_port) != out_port:
+                to_disconnect.append((device, in_port, out_port))
+        for in_port, out_port in tgt.items():
+            if cur.get(in_port) != out_port:
+                to_connect.append((device, in_port, out_port))
+    return to_disconnect, to_connect
+
+
+def apply_reconfiguration(
+    registry: DeviceRegistry,
+    current: Mapping[str, Mapping[PortLabel, PortLabel]],
+    target: Mapping[str, Mapping[PortLabel, PortLabel]],
+    drained_pairs: Sequence = (),
+    drain_callback: Callable[[Sequence], None] | None = None,
+    max_retries: int = 3,
+) -> ReconfigurationReport:
+    """Converge the OSS layer from ``current`` to ``target``.
+
+    Order matters: drain first (no live traffic on torn paths), disconnect
+    stale cross-connects (ports must free up before reuse), then make new
+    connections, then verify every target connection actually exists.
+    """
+    report = ReconfigurationReport(drained_pairs=tuple(drained_pairs))
+    to_disconnect, to_connect = diff_connections(current, target)
+    if not to_disconnect and not to_connect:
+        report.verified = True
+        return report
+
+    if drain_callback is not None:
+        drain_callback(drained_pairs)
+
+    for device, in_port, _ in to_disconnect:
+        transport = registry.get(device)
+        _with_retries(
+            transport, "disconnect", in_port, max_retries=max_retries, report=report
+        )
+        report.disconnects += 1
+        report.commands.append(("disconnect", device, in_port))
+
+    switch_time = 0.0
+    for device, in_port, out_port in to_connect:
+        transport = registry.get(device)
+        _with_retries(
+            transport,
+            "connect",
+            in_port,
+            out_port,
+            max_retries=max_retries,
+            report=report,
+        )
+        report.connects += 1
+        report.commands.append(("connect", device, in_port))
+        switch_time = max(switch_time, transport.device.switch_time_s)
+
+    # Verify: every target connection must be present on the device.
+    for device, in_port, out_port in to_connect:
+        transport = registry.get(device)
+        ok = _with_retries(
+            transport,
+            "is_connected",
+            in_port,
+            out_port,
+            max_retries=max_retries,
+            report=report,
+        )
+        if not ok:
+            raise ControlPlaneError(
+                f"verification failed: {device} {in_port!r} -> {out_port!r}"
+            )
+    report.verified = True
+    # OSSes reconfigure in parallel; the data path is back once the slowest
+    # switch settles and receivers recover (50 ms measured, §6.2).
+    report.duration_s = switch_time + SIGNAL_RECOVERY_TIME_S
+    return report

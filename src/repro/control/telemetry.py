@@ -1,0 +1,109 @@
+"""DC-DC traffic telemetry for the controller (§5.2).
+
+"A centralized controller gathers DC-DC traffic demands, and configures the
+network components appropriately." This module is the gathering half: an
+exponentially-weighted estimator over observed per-pair byte counts (e.g.
+switch counters or flow records), producing the Gbps demand matrix that
+:func:`repro.control.controller.compute_target` converts into circuits.
+
+DC-DC aggregate traffic is slow-moving and predictable (§6.3), so a simple
+EWMA with a safety factor suffices; the estimator also reports whether a
+re-estimate differs enough from the last applied matrix to justify a
+reconfiguration at all (Iris reconfigures "relatively infrequently").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.exceptions import ControlPlaneError
+from repro.region.fibermap import pair_key
+
+Pair = tuple[str, str]
+
+
+@dataclass
+class DemandEstimator:
+    """EWMA estimator of per-pair offered load.
+
+    ``alpha``
+        Weight of the newest observation window (0 < alpha <= 1).
+    ``safety_factor``
+        Multiplier applied to estimates when emitting demands, absorbing
+        bounded traffic fluctuations between reconfigurations.
+    """
+
+    alpha: float = 0.3
+    safety_factor: float = 1.25
+    _rates_gbps: dict[Pair, float] = field(default_factory=dict)
+    _windows: int = 0
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.alpha <= 1.0):
+            raise ControlPlaneError("alpha must be in (0, 1]")
+        if self.safety_factor < 1.0:
+            raise ControlPlaneError("safety factor must be >= 1")
+
+    def observe_window(
+        self, pair_bytes: Mapping[Pair, float], window_s: float
+    ) -> None:
+        """Fold one measurement window of per-pair byte counts."""
+        if window_s <= 0:
+            raise ControlPlaneError("window must be positive")
+        rates = {
+            pair_key(*pair): volume * 8.0 / window_s / 1e9
+            for pair, volume in pair_bytes.items()
+        }
+        if self._windows == 0:
+            self._rates_gbps.update(rates)
+        else:
+            for pair in set(self._rates_gbps) | set(rates):
+                old = self._rates_gbps.get(pair, 0.0)
+                new = rates.get(pair, 0.0)
+                self._rates_gbps[pair] = (
+                    (1 - self.alpha) * old + self.alpha * new
+                )
+        self._windows += 1
+
+    def observe_flows(
+        self,
+        flows: Iterable[tuple[str, str, float]],
+        window_s: float,
+    ) -> None:
+        """Fold (src, dst, bytes) flow records from one window."""
+        volumes: dict[Pair, float] = {}
+        for src, dst, size_bytes in flows:
+            pair = pair_key(src, dst)
+            volumes[pair] = volumes.get(pair, 0.0) + size_bytes
+        self.observe_window(volumes, window_s)
+
+    def demands_gbps(self) -> dict[Pair, float]:
+        """The demand matrix to hand the controller (safety included)."""
+        if self._windows == 0:
+            raise ControlPlaneError("no telemetry observed yet")
+        return {
+            pair: rate * self.safety_factor
+            for pair, rate in self._rates_gbps.items()
+            if rate > 0
+        }
+
+    def reconfiguration_worthwhile(
+        self,
+        applied_gbps: Mapping[Pair, float],
+        threshold: float = 0.2,
+    ) -> bool:
+        """Should the controller bother reconfiguring?
+
+        True when any pair's estimate departed from the applied matrix by
+        more than ``threshold`` (relative, with an absolute floor for
+        pairs appearing or vanishing).
+        """
+        current = self.demands_gbps()
+        for pair in set(current) | set(dict(applied_gbps)):
+            old = dict(applied_gbps).get(pair, 0.0)
+            new = current.get(pair, 0.0)
+            base = max(old, 1e-3)
+            if abs(new - old) / base > threshold:
+                return True
+        return False

@@ -1,0 +1,96 @@
+"""Per-DC wavelength management (§5.1-5.2).
+
+Iris keeps wavelength assignment strictly DC-local: tunable transceivers at
+each DC's T2 tier are assigned colours so they pack into the outgoing fibers
+chosen for each destination, with OSS1 providing any-transceiver-to-any-fiber
+reachability. No network-wide graph colouring is needed — each fiber simply
+carries a full, locally-consistent C-band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.exceptions import ControlPlaneError
+
+
+@dataclass(frozen=True)
+class WavelengthAssignment:
+    """Where each transceiver of one DC transmits.
+
+    ``slots`` maps transceiver index -> (destination, fiber index within the
+    destination's fiber group, channel index within the fiber).
+    """
+
+    slots: Mapping[int, tuple[str, int, int]]
+    wavelengths_per_fiber: int
+
+    def channels_on_fiber(self, destination: str, fiber: int) -> list[int]:
+        """Live channels on one outgoing fiber (the rest get ASE fill)."""
+        return sorted(
+            channel
+            for (dest, fib, channel) in self.slots.values()
+            if dest == destination and fib == fiber
+        )
+
+    def transceivers_toward(self, destination: str) -> list[int]:
+        """Transceiver indices currently assigned to ``destination``."""
+        return sorted(
+            t for t, (dest, _, _) in self.slots.items() if dest == destination
+        )
+
+
+def pack_transceivers(
+    demand_wavelengths: Mapping[str, int],
+    fibers: Mapping[str, int],
+    wavelengths_per_fiber: int,
+    total_transceivers: int,
+) -> WavelengthAssignment:
+    """First-fit packing of a DC's transceivers into its outgoing fibers.
+
+    ``demand_wavelengths``: wavelengths needed toward each destination.
+    ``fibers``: fibers currently allocated toward each destination.
+    Raises :class:`ControlPlaneError` when demand exceeds fiber capacity or
+    the DC's transceiver pool.
+    """
+    if wavelengths_per_fiber <= 0:
+        raise ControlPlaneError("wavelengths_per_fiber must be positive")
+    total_demand = sum(demand_wavelengths.values())
+    if total_demand > total_transceivers:
+        raise ControlPlaneError(
+            f"demand of {total_demand} wavelengths exceeds the DC's "
+            f"{total_transceivers} transceivers"
+        )
+
+    slots: dict[int, tuple[str, int, int]] = {}
+    transceiver = 0
+    for destination in sorted(demand_wavelengths):
+        need = demand_wavelengths[destination]
+        if need < 0:
+            raise ControlPlaneError(f"negative demand toward {destination!r}")
+        available = fibers.get(destination, 0) * wavelengths_per_fiber
+        if need > available:
+            raise ControlPlaneError(
+                f"demand of {need} wavelengths toward {destination!r} "
+                f"exceeds {available} available on its fibers"
+            )
+        for i in range(need):
+            fiber_index, channel = divmod(i, wavelengths_per_fiber)
+            slots[transceiver] = (destination, fiber_index, channel)
+            transceiver += 1
+
+    assignment = WavelengthAssignment(
+        slots=slots, wavelengths_per_fiber=wavelengths_per_fiber
+    )
+    _check_no_collisions(assignment)
+    return assignment
+
+
+def _check_no_collisions(assignment: WavelengthAssignment) -> None:
+    """Invariant: no two transceivers share a (destination, fiber, channel)."""
+    seen: set[tuple[str, int, int]] = set()
+    for slot in assignment.slots.values():
+        if slot in seen:
+            raise ControlPlaneError(f"wavelength collision on {slot!r}")
+        seen.add(slot)

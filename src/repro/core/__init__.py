@@ -1,0 +1,33 @@
+"""The paper's primary contribution: Iris network planning (§4, App. A-B)."""
+
+from repro.core.plan import (
+    AmplifierPlan,
+    CutThroughLink,
+    IrisPlan,
+    TopologyPlan,
+)
+from repro.core.failures import all_failure_scenarios, Scenario
+from repro.core.hose import hose_capacity, oriented_pairs_through_edge
+from repro.core.topology import plan_topology, compute_scenario_paths
+from repro.core.amplifiers import place_amplifiers
+from repro.core.cutthrough import place_cut_throughs
+from repro.core.residual import residual_fiber_pairs
+from repro.core.planner import IrisPlanner, plan_region
+
+__all__ = [
+    "AmplifierPlan",
+    "CutThroughLink",
+    "IrisPlan",
+    "TopologyPlan",
+    "Scenario",
+    "all_failure_scenarios",
+    "hose_capacity",
+    "oriented_pairs_through_edge",
+    "plan_topology",
+    "compute_scenario_paths",
+    "place_amplifiers",
+    "place_cut_throughs",
+    "residual_fiber_pairs",
+    "IrisPlanner",
+    "plan_region",
+]

@@ -1,0 +1,157 @@
+"""Hose-model worst-case capacity via max-flow (§4.1, adapted from [29]).
+
+Summing per-pair demands over an edge over-provisions: a DC in several pairs
+would have its capacity double-counted. The precise answer is the maximum
+flow of a bipartite "flow graph": source -> (egress side of each DC, capped
+by its capacity) -> pair arcs -> (ingress side, capped) -> sink. The max flow
+is the worst-case traffic any hose-compliant traffic matrix can push across
+the edge.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Iterable, Mapping, Sequence
+
+from repro.region.fibermap import Duct, duct_key
+
+
+def oriented_pairs_through_edge(
+    edge: Duct, paths: Mapping[tuple[str, str], Sequence[str]]
+) -> list[tuple[str, str]]:
+    """DC pairs whose path traverses ``edge``, oriented along the traversal.
+
+    Returns (left, right) per pair, where the path crosses the edge from the
+    ``left`` DC's side toward the ``right`` DC's side. With symmetric
+    demands the reverse orientation is the mirror image, so one orientation
+    suffices for capacity.
+    """
+    out: list[tuple[str, str]] = []
+    for (a, b), path in paths.items():
+        for x, y in zip(path, path[1:]):
+            if duct_key(x, y) == edge:
+                # The a->b path crosses the duct in the x->y direction; the
+                # canonical key is (min, max), so (x, y) == edge means the
+                # traversal runs low-endpoint -> high-endpoint.
+                out.append((a, b) if (x, y) == edge else (b, a))
+                break
+    return out
+
+
+def hose_capacity(
+    oriented_pairs: Iterable[tuple[str, str]],
+    dc_fibers: Mapping[str, int],
+) -> int:
+    """Worst-case hose load (in fibers) of a set of oriented DC pairs.
+
+    ``oriented_pairs`` is the (left, right) list from
+    :func:`oriented_pairs_through_edge`; ``dc_fibers`` the per-DC capacity.
+
+    The planner calls this tens of thousands of times on tiny bipartite
+    graphs, so the computation is memoized and solved with a direct
+    augmenting-path max-flow instead of a general-purpose library call.
+    """
+    pairs = frozenset(oriented_pairs)
+    if not pairs:
+        return 0
+    dcs = {dc for pair in pairs for dc in pair}
+    caps = tuple(sorted((dc, dc_fibers[dc]) for dc in dcs))
+    return _hose_capacity_cached(tuple(sorted(pairs)), caps)
+
+
+@lru_cache(maxsize=200_000)
+def _hose_capacity_cached(
+    pairs: tuple[tuple[str, str], ...],
+    caps: tuple[tuple[str, int], ...],
+) -> int:
+    """Max flow of the bipartite hose graph (BFS augmenting paths).
+
+    Node model: egress copy of each left DC (cap from source), ingress copy
+    of each right DC (cap to sink), infinite pair arcs. Capacities are small
+    integers, so the number of augmentations is bounded by the total DC
+    capacity and each BFS touches only a handful of nodes.
+    """
+    cap_of = dict(caps)
+    lefts = sorted({a for a, _ in pairs})
+    rights = sorted({b for _, b in pairs})
+    # Residual capacities: source->left, right->sink, left->right (inf),
+    # plus reverse residuals for the pair arcs.
+    src_res = {a: cap_of[a] for a in lefts}
+    sink_res = {b: cap_of[b] for b in rights}
+    fwd: dict[tuple[str, str], float] = {p: math.inf for p in pairs}
+    rev: dict[tuple[str, str], float] = {p: 0.0 for p in pairs}
+    out_of = {a: [b for (x, b) in pairs if x == a] for a in lefts}
+    into = {b: [a for (a, y) in pairs if y == b] for b in rights}
+
+    total = 0
+    while True:
+        # BFS from source through lefts with residual, to a right with
+        # residual to sink; track parents to augment.
+        parent_right: dict[str, str] = {}
+        parent_left: dict[str, str | None] = {
+            a: None for a in lefts if src_res[a] > 0
+        }
+        frontier = list(parent_left)
+        target = None
+        while frontier and target is None:
+            next_frontier = []
+            for a in frontier:
+                for b in out_of[a]:
+                    if b in parent_right or fwd[(a, b)] <= 0:
+                        continue
+                    parent_right[b] = a
+                    if sink_res[b] > 0:
+                        target = b
+                        break
+                    # Continue through reverse pair arcs (rarely needed
+                    # with infinite forward arcs, kept for correctness).
+                    for a2 in into[b]:
+                        if a2 not in parent_left and rev[(a2, b)] > 0:
+                            parent_left[a2] = b
+                            next_frontier.append(a2)
+                if target is not None:
+                    break
+            frontier = next_frontier
+        if target is None:
+            return total
+
+        # Walk back to find the bottleneck, then augment by it.
+        path: list[tuple[str, str, bool]] = []  # (left, right, forward?)
+        b = target
+        bottleneck = sink_res[b]
+        while True:
+            a = parent_right[b]
+            path.append((a, b, True))
+            bottleneck = min(bottleneck, fwd[(a, b)])
+            via = parent_left[a]
+            if via is None:
+                bottleneck = min(bottleneck, src_res[a])
+                break
+            path.append((a, via, False))
+            bottleneck = min(bottleneck, rev[(a, via)])
+            b = via
+        bottleneck = int(bottleneck)
+        first_left = path[-1][0]  # the left node fed from the source
+        src_res[first_left] -= bottleneck
+        sink_res[target] -= bottleneck
+        for a, b, forward in path:
+            if forward:
+                fwd[(a, b)] -= bottleneck
+                rev[(a, b)] += bottleneck
+            else:
+                fwd[(a, b)] += bottleneck
+                rev[(a, b)] -= bottleneck
+        total += bottleneck
+
+
+def naive_sum_capacity(
+    oriented_pairs: Iterable[tuple[str, str]],
+    dc_fibers: Mapping[str, int],
+) -> int:
+    """The naive per-pair sum the paper warns against (for comparison only).
+
+    Sums min(cap_a, cap_b) over pairs; over-counts DCs that appear in
+    several pairs. Always >= :func:`hose_capacity`.
+    """
+    return sum(min(dc_fibers[a], dc_fibers[b]) for a, b in oriented_pairs)

@@ -1,0 +1,80 @@
+"""The end-to-end Iris planner: Algorithm 1 + Algorithm 2 + cut-throughs +
+residual fibers, assembled into a validated :class:`~repro.core.plan.IrisPlan`.
+
+Typical use::
+
+    from repro import plan_region
+    plan = plan_region(region)
+    inventory = plan.inventory()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.amplifiers import place_amplifiers
+from repro.core.cutthrough import place_cut_throughs
+from repro.core.plan import IrisPlan, TopologyPlan
+from repro.core.residual import residual_fiber_pairs
+from repro.core.topology import plan_topology
+from repro.exceptions import PlanningError
+from repro.region.fibermap import RegionSpec
+
+
+@dataclass
+class IrisPlanner:
+    """Planner for one region.
+
+    ``prune_enumeration``
+        Use the exact pruned failure enumeration (default). Brute force is
+        exponentially slower and only useful for validating the pruning.
+    ``validate``
+        Check every scenario path against TC1-TC4/OC1 after planning and
+        raise :class:`PlanningError` on any violation (default).
+    """
+
+    region: RegionSpec
+    prune_enumeration: bool = True
+    validate: bool = True
+
+    def plan(self) -> IrisPlan:
+        """Produce the full Iris plan for the region."""
+        topology = self.plan_topology()
+        return self.plan_from_topology(topology)
+
+    def plan_topology(self) -> TopologyPlan:
+        """Run only Algorithm 1 (shared with the EPS baseline)."""
+        return plan_topology(self.region, self.prune_enumeration)
+
+    def plan_from_topology(self, topology: TopologyPlan) -> IrisPlan:
+        """Complete the optical realization on a precomputed topology."""
+        distance_amps, effective = place_amplifiers(self.region, topology)
+        cut_throughs, effective, amplifiers = place_cut_throughs(
+            self.region,
+            effective,
+            site_counts=distance_amps.site_counts,
+            assignments=distance_amps.assignments,
+        )
+        residual = residual_fiber_pairs(self.region, topology)
+        plan = IrisPlan(
+            region=self.region,
+            topology=topology,
+            amplifiers=amplifiers,
+            cut_throughs=cut_throughs,
+            residual=residual,
+            effective_paths=effective,
+        )
+        if self.validate:
+            problems = plan.validate()
+            if problems:
+                raise PlanningError(
+                    "planned network violates constraints: "
+                    + " | ".join(problems[:5])
+                    + (f" (+{len(problems) - 5} more)" if len(problems) > 5 else "")
+                )
+        return plan
+
+
+def plan_region(region: RegionSpec, **kwargs) -> IrisPlan:
+    """Convenience wrapper: ``IrisPlanner(region, **kwargs).plan()``."""
+    return IrisPlanner(region, **kwargs).plan()

@@ -1,0 +1,180 @@
+"""Algorithm 1: topology & capacity planning (§4.1).
+
+For every failure scenario of up to ``tolerance`` duct cuts, compute every
+DC pair's shortest path (OC1/OC3) and provision each duct at the maximum,
+over scenarios, of the hose max-flow across it (OC2/OC4). Ducts longer than
+the TC1 reach are excluded up front: no point-to-point connection can use
+them under any switching technology.
+
+Enumeration is pruned exactly: cutting ducts that no shortest path of a
+scenario uses leaves that scenario's paths (hence capacities) unchanged, so
+each enumerated scenario is only extended with ducts its own shortest-path
+set uses. Every omitted scenario has the same path set as some enumerated
+one. Tests cross-check this against brute force on small maps.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Mapping
+
+import networkx as nx
+
+from repro.core.failures import Scenario
+from repro.core.hose import hose_capacity, oriented_pairs_through_edge
+from repro.core.plan import Pair, TopologyPlan
+from repro.exceptions import InfeasibleRegionError
+from repro.region.fibermap import Duct, FiberMap, RegionSpec, duct_key, pair_key
+from repro.units import IRIS_MAX_DUCT_KM
+
+
+def prune_overlong_ducts(fmap: FiberMap, max_span_km: float) -> FiberMap:
+    """A copy of ``fmap`` without ducts beyond point-to-point reach (TC1)."""
+    pruned = fmap.copy()
+    for u, v in list(pruned.ducts):
+        if pruned.duct_length(u, v) > max_span_km + 1e-9:
+            pruned.remove_duct(u, v)
+    return pruned
+
+
+def compute_scenario_paths(
+    fmap: FiberMap,
+    scenario: Scenario,
+    sla_fiber_km: float | None = None,
+) -> dict[Pair, tuple[str, ...]]:
+    """Shortest paths for every DC pair with ``scenario``'s ducts cut.
+
+    Raises :class:`InfeasibleRegionError` if any pair disconnects or (when
+    ``sla_fiber_km`` is given) exceeds the SLA distance — under OC4, the
+    operational constraints must keep holding in every tolerated scenario.
+    """
+    graph = fmap.subgraph_without(scenario)
+    dcs = fmap.dcs
+    paths: dict[Pair, tuple[str, ...]] = {}
+    for source in dcs:
+        lengths, routes = nx.single_source_dijkstra(graph, source, weight="length_km")
+        for target in dcs:
+            if target <= source:
+                continue
+            pair = pair_key(source, target)
+            if target not in lengths:
+                raise InfeasibleRegionError(
+                    f"DC pair {pair} disconnected when ducts "
+                    f"{sorted(scenario)} are cut",
+                    scenario=scenario,
+                    pair=pair,
+                )
+            if sla_fiber_km is not None and lengths[target] > sla_fiber_km + 1e-9:
+                raise InfeasibleRegionError(
+                    f"DC pair {pair} at {lengths[target]:.1f} km exceeds the "
+                    f"{sla_fiber_km:.0f} km SLA when ducts "
+                    f"{sorted(scenario)} are cut",
+                    scenario=scenario,
+                    pair=pair,
+                )
+            paths[pair] = tuple(routes[target])
+    return paths
+
+
+def _used_ducts(paths: Mapping[Pair, tuple[str, ...]]) -> set[Duct]:
+    used: set[Duct] = set()
+    for path in paths.values():
+        used.update(duct_key(u, v) for u, v in zip(path, path[1:]))
+    return used
+
+
+def enumerate_scenario_paths(
+    fmap: FiberMap,
+    tolerance: int,
+    sla_fiber_km: float | None = None,
+    prune: bool = True,
+) -> tuple[dict[Scenario, dict[Pair, tuple[str, ...]]], int]:
+    """All (pruned) failure scenarios with their shortest-path sets.
+
+    Returns (scenario -> pair -> path, total raw scenario count the pruned
+    set represents). With ``prune=False``, enumerates brute force (tests).
+    """
+    n_ducts = len(fmap.ducts)
+    total_raw = sum(
+        _comb(n_ducts, k) for k in range(min(tolerance, n_ducts) + 1)
+    )
+
+    results: dict[Scenario, dict[Pair, tuple[str, ...]]] = {}
+    if not prune:
+        for k in range(tolerance + 1):
+            for combo in itertools.combinations(fmap.ducts, k):
+                scenario = Scenario(combo)
+                results[scenario] = compute_scenario_paths(
+                    fmap, scenario, sla_fiber_km
+                )
+        return results, total_raw
+
+    frontier: list[Scenario] = [Scenario()]
+    seen: set[Scenario] = {Scenario()}
+    for level in range(tolerance + 1):
+        next_frontier: list[Scenario] = []
+        for scenario in frontier:
+            paths = compute_scenario_paths(fmap, scenario, sla_fiber_km)
+            results[scenario] = paths
+            if level < tolerance:
+                for duct in sorted(_used_ducts(paths)):
+                    extended = scenario | {duct}
+                    if extended not in seen:
+                        seen.add(extended)
+                        next_frontier.append(extended)
+        frontier = next_frontier
+    return results, total_raw
+
+
+def _comb(n: int, k: int) -> int:
+    c = 1
+    for i in range(k):
+        c = c * (n - i) // (i + 1)
+    return c
+
+
+def plan_topology(
+    region: RegionSpec,
+    prune_enumeration: bool = True,
+) -> TopologyPlan:
+    """Run Algorithm 1 for ``region``.
+
+    The returned plan's ``edge_capacity`` is in fiber-pairs: base capacity
+    before the residual provisioning that fiber-granularity switching adds
+    (§4.3). Both the electrical (EPS) and optical (Iris) realizations start
+    from this plan.
+    """
+    constraints = region.constraints
+    # Ducts beyond point-to-point reach are useless under any switching
+    # (TC1); ducts beyond the Iris per-run budget (fiber + the two endpoint
+    # OSS traversals, see IRIS_MAX_DUCT_KM) are useless to an all-optical
+    # path under any routing, so they are pruned too.
+    usable_km = min(constraints.max_span_km, IRIS_MAX_DUCT_KM)
+    fmap = prune_overlong_ducts(region.fiber_map, usable_km)
+
+    scenario_paths, total_raw = enumerate_scenario_paths(
+        fmap,
+        constraints.failure_tolerance,
+        sla_fiber_km=constraints.sla_fiber_km,
+        prune=prune_enumeration,
+    )
+
+    edge_capacity: dict[Duct, int] = {}
+    # Different scenarios mostly reroute a few pairs, so the oriented pair
+    # set of an edge recurs across scenarios: memoize the max-flow per set.
+    flow_cache: dict[tuple, int] = {}
+    for paths in scenario_paths.values():
+        for edge in _used_ducts(paths):
+            oriented = tuple(sorted(oriented_pairs_through_edge(edge, paths)))
+            needed = flow_cache.get(oriented)
+            if needed is None:
+                needed = hose_capacity(oriented, region.dc_fibers)
+                flow_cache[oriented] = needed
+            if needed > edge_capacity.get(edge, 0):
+                edge_capacity[edge] = needed
+
+    return TopologyPlan(
+        edge_capacity=edge_capacity,
+        scenario_paths=scenario_paths,
+        scenario_count_total=total_raw,
+    )

@@ -1,0 +1,6 @@
+"""Cost model (§3.3): component prices and itemized network cost."""
+
+from repro.cost.pricebook import PriceBook
+from repro.cost.estimator import CostBreakdown, Inventory, estimate_cost
+
+__all__ = ["PriceBook", "CostBreakdown", "Inventory", "estimate_cost"]

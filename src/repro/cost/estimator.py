@@ -1,0 +1,174 @@
+"""Itemized network cost from an equipment inventory.
+
+Designs (Iris, EPS, hybrid) reduce to an :class:`Inventory` — how many of
+each §3.3 component class the realized network needs — which this module
+prices. Keeping the inventory explicit makes the Fig 12 ratios auditable
+item by item.
+
+Port-accounting convention (matches the §3.4 example): "DC ports" are the
+capacity-facing transceivers at the DCs (f x lambda per DC, identical across
+designs); everything else — hut transceivers and their switch ports for EPS,
+duct-terminating OSS ports and amplifier loopback ports for Iris — is
+"in-network". DC-internal OSS stages (OSS1/OSS2 fan-in, Fig 11) are tracked
+separately and excluded from headline totals, as in the paper's example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+from repro.cost.pricebook import PriceBook
+from repro.exceptions import ReproError
+
+
+@dataclass(frozen=True)
+class Inventory:
+    """Equipment counts for one realized regional network.
+
+    ``fiber_pair_spans`` counts (fiber-pair, duct) leases: a fiber-pair that
+    traverses three ducts counts three spans, since leases are priced per
+    span (§3.3). A cut-through fiber passing a hut unswitched still leases
+    each underlying span.
+    """
+
+    dc_transceivers: int = 0
+    dc_electrical_ports: int = 0
+    innetwork_transceivers: int = 0
+    innetwork_electrical_ports: int = 0
+    oss_ports: int = 0
+    oxc_ports: int = 0
+    amplifiers: int = 0
+    fiber_pair_spans: int = 0
+    dc_oss_ports: int = 0
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            if getattr(self, f.name) < 0:
+                raise ReproError(f"inventory count {f.name} must be non-negative")
+
+    @property
+    def dc_ports(self) -> int:
+        """Capacity-facing ports at the DCs (identical across designs)."""
+        return self.dc_transceivers
+
+    @property
+    def in_network_ports(self) -> int:
+        """Ports that must be managed inside the network (Fig 12(c))."""
+        return (
+            self.innetwork_transceivers
+            + self.innetwork_electrical_ports
+            + self.oss_ports
+            + self.oxc_ports
+        )
+
+    @property
+    def total_ports(self) -> int:
+        """Every managed port, electrical or optical."""
+        return (
+            self.dc_transceivers
+            + self.dc_electrical_ports
+            + self.in_network_ports
+            + self.dc_oss_ports
+        )
+
+    def combined(self, other: "Inventory") -> "Inventory":
+        """Element-wise sum of two inventories."""
+        return Inventory(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Priced inventory, $/year, by component class."""
+
+    transceivers: float
+    electrical_ports: float
+    oss_ports: float
+    oxc_ports: float
+    amplifiers: float
+    fiber: float
+    dc_oss_ports: float = 0.0
+    inventory: Inventory = field(default_factory=Inventory)
+
+    @property
+    def total(self) -> float:
+        """Headline total (excludes the DC-internal OSS stages, per §3.4)."""
+        return (
+            self.transceivers
+            + self.electrical_ports
+            + self.oss_ports
+            + self.oxc_ports
+            + self.amplifiers
+            + self.fiber
+        )
+
+    @property
+    def total_with_dc_oss(self) -> float:
+        """Total including the DC-internal OSS fan-in stages."""
+        return self.total + self.dc_oss_ports
+
+    @property
+    def in_network_total(self) -> float:
+        """Cost of in-network components only (Fig 12(a)'s third line).
+
+        Excludes the capacity-facing DC transceivers and their switch ports,
+        which are fixed across the design space.
+        """
+        return self.total - self.dc_cost
+
+    @property
+    def dc_cost(self) -> float:
+        """Cost of the fixed, capacity-facing DC ports."""
+        inv = self.inventory
+        if inv.dc_transceivers == 0 and inv.dc_electrical_ports == 0:
+            return 0.0
+        total_xcvr = inv.dc_transceivers + inv.innetwork_transceivers
+        total_eport = inv.dc_electrical_ports + inv.innetwork_electrical_ports
+        xcvr_share = (
+            self.transceivers * inv.dc_transceivers / total_xcvr
+            if total_xcvr
+            else 0.0
+        )
+        eport_share = (
+            self.electrical_ports * inv.dc_electrical_ports / total_eport
+            if total_eport
+            else 0.0
+        )
+        return xcvr_share + eport_share
+
+
+def estimate_cost(
+    inventory: Inventory,
+    prices: PriceBook | None = None,
+    sr_for_innetwork: bool = False,
+) -> CostBreakdown:
+    """Price an inventory.
+
+    ``sr_for_innetwork`` applies short-reach transceiver prices to the
+    in-network (group-internal) transceivers, the optimistic "Electrical
+    with SR" variant of Fig 7.
+    """
+    prices = prices or PriceBook.default()
+    innetwork_price = (
+        prices.transceiver_sr if sr_for_innetwork else prices.transceiver_dci
+    )
+    return CostBreakdown(
+        transceivers=(
+            inventory.dc_transceivers * prices.transceiver_dci
+            + inventory.innetwork_transceivers * innetwork_price
+        ),
+        electrical_ports=(
+            (inventory.dc_electrical_ports + inventory.innetwork_electrical_ports)
+            * prices.electrical_port
+        ),
+        oss_ports=inventory.oss_ports * prices.oss_port,
+        oxc_ports=inventory.oxc_ports * prices.oxc_port,
+        amplifiers=inventory.amplifiers * prices.amplifier,
+        fiber=inventory.fiber_pair_spans * prices.fiber_pair_span,
+        dc_oss_ports=inventory.dc_oss_ports * prices.oss_port,
+        inventory=inventory,
+    )

@@ -1,0 +1,82 @@
+"""Component prices (§3.3), amortized to $/year.
+
+The paper can only disclose coarse relative prices; those relativities are
+what drive every cost result, so we encode them directly:
+
+* DCI transceiver ~$10/Gbps => ~$1,300/yr for 400G after 3-year amortization.
+* Electrical switch port: a transceiver costs roughly 10x an electrical port.
+* Fiber-pair lease: ~$3,600/yr *per span*, independent of distance — about
+  3x a transceiver. One fiber carries 40-64 transceivers' worth of traffic.
+* OSS port: an order of magnitude below a transceiver ($100-200,
+  unidirectional).
+* OXC port: slightly above an OSS port (needs de/muxes).
+* Amplifier: a few transceivers' worth, but amortized over a whole fiber.
+* Short-reach transceiver (sub-2 km): about half a DCI transceiver. The
+  paper does not state this price, but Fig 7's reading pins it: with SR
+  group-internal links, semi-distributed topologies are "also more
+  expensive than a centralized one" — which holds only if
+  2(e + sr) + (e + dci) > 2(e + dci), i.e. sr > dci/2 - e/2. Used for the
+  "Electrical with SR" variant of Fig 7 and the Fig 12(b) sensitivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.exceptions import ReproError
+
+
+@dataclass(frozen=True)
+class PriceBook:
+    """Amortized $/year prices for every component class the designs use."""
+
+    transceiver_dci: float = 1300.0
+    transceiver_sr: float = 650.0
+    electrical_port: float = 130.0
+    fiber_pair_span: float = 3600.0
+    oss_port: float = 150.0
+    oxc_port: float = 250.0
+    amplifier: float = 3900.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "transceiver_dci",
+            "transceiver_sr",
+            "electrical_port",
+            "fiber_pair_span",
+            "oss_port",
+            "oxc_port",
+            "amplifier",
+        ):
+            if getattr(self, name) < 0:
+                raise ReproError(f"price {name} must be non-negative")
+
+    @classmethod
+    def default(cls) -> "PriceBook":
+        """The §3.3 reference prices."""
+        return cls()
+
+    def with_sr_priced_dci(self) -> "PriceBook":
+        """Fig 12(b)'s sensitivity: DCI transceivers at short-reach prices.
+
+        The paper calls this "unrealistically optimistic" for electrical
+        designs; Iris keeps a cost advantage even then.
+        """
+        return replace(self, transceiver_dci=self.transceiver_sr)
+
+    def scaled(self, factor: float) -> "PriceBook":
+        """Uniformly scaled prices (useful for currency/epoch sensitivity).
+
+        Ratios — the paper's reproduction target — are invariant under this.
+        """
+        if factor <= 0:
+            raise ReproError("scale factor must be positive")
+        return PriceBook(
+            transceiver_dci=self.transceiver_dci * factor,
+            transceiver_sr=self.transceiver_sr * factor,
+            electrical_port=self.electrical_port * factor,
+            fiber_pair_span=self.fiber_pair_span * factor,
+            oss_port=self.oss_port * factor,
+            oxc_port=self.oxc_port * factor,
+            amplifier=self.amplifier * factor,
+        )

@@ -1,0 +1,41 @@
+"""Design-space alternatives and baselines (§2.4, §4.2, §4.4, App. B)."""
+
+from repro.designs.portmodel import PortModel, PortModelPoint
+from repro.designs.eps import eps_inventory, eps_inventory_from_plan
+from repro.designs.centralized import CentralizedDesign
+from repro.designs.distributed import balanced_groups, full_mesh_pairs
+from repro.designs.wavelength import (
+    combinable_residual_fibers,
+    worst_case_residual_wavelengths,
+    wavelength_vs_fiber_tradeoff,
+)
+from repro.designs.hybrid import HybridPlan, hybridize
+from repro.designs.semidistributed import SemiDistributedDesign, Zone, cluster_zones
+from repro.designs.wavelength_network import (
+    WavelengthPlan,
+    assign_wavelengths,
+    colourable_fraction,
+    oxc_path_feasible,
+)
+
+__all__ = [
+    "PortModel",
+    "PortModelPoint",
+    "eps_inventory",
+    "eps_inventory_from_plan",
+    "CentralizedDesign",
+    "balanced_groups",
+    "full_mesh_pairs",
+    "combinable_residual_fibers",
+    "worst_case_residual_wavelengths",
+    "wavelength_vs_fiber_tradeoff",
+    "HybridPlan",
+    "hybridize",
+    "SemiDistributedDesign",
+    "Zone",
+    "cluster_zones",
+    "WavelengthPlan",
+    "assign_wavelengths",
+    "colourable_fraction",
+    "oxc_path_feasible",
+]

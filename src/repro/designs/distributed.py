@@ -1,0 +1,57 @@
+"""Distributed and semi-distributed topology helpers (§2, Fig 1(d)-(e)).
+
+The quantitative design-space work happens in :mod:`repro.core` (which plans
+distributed networks from real fiber maps) and
+:mod:`repro.designs.portmodel` (the closed-form group model); this module
+provides the structural pieces both share: pair enumeration and balanced
+group partitions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from repro.exceptions import ReproError
+from repro.region.fibermap import pair_key
+
+
+def full_mesh_pairs(dcs: Sequence[str]) -> list[tuple[str, str]]:
+    """All O(n^2) direct DC-DC connections of the extreme distributed design."""
+    return [pair_key(a, b) for a, b in itertools.combinations(sorted(dcs), 2)]
+
+
+def balanced_groups(dcs: Sequence[str], groups: int) -> list[list[str]]:
+    """Partition DCs into ``groups`` balanced groups (§2.4's model).
+
+    DCs are assigned round-robin in sorted order; group sizes differ by at
+    most one when ``groups`` does not divide the DC count.
+    """
+    if groups < 1:
+        raise ReproError("need at least one group")
+    ordered = sorted(dcs)
+    if groups > len(ordered):
+        raise ReproError(f"cannot split {len(ordered)} DCs into {groups} groups")
+    out: list[list[str]] = [[] for _ in range(groups)]
+    for i, dc in enumerate(ordered):
+        out[i % groups].append(dc)
+    return out
+
+
+def cross_group_pairs(partition: Sequence[Sequence[str]]) -> list[tuple[str, str]]:
+    """DC pairs whose endpoints sit in different groups."""
+    out = []
+    for gi, ga in enumerate(partition):
+        for gb in partition[gi + 1 :]:
+            for a in ga:
+                for b in gb:
+                    out.append(pair_key(a, b))
+    return sorted(out)
+
+
+def intra_group_pairs(partition: Sequence[Sequence[str]]) -> list[tuple[str, str]]:
+    """DC pairs whose endpoints share a group."""
+    out = []
+    for group in partition:
+        out.extend(full_mesh_pairs(group))
+    return sorted(out)

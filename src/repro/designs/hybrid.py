@@ -1,0 +1,175 @@
+"""The hybrid fiber + wavelength-switched design (Appendix B, Fig 15).
+
+The hybrid keeps Iris's fiber switching for base capacity but combines
+*residual* fibers — which only ever carry fractional demand — using
+wavelength switching: residual capacity from one DC toward several
+destinations shares one fiber up to a hut on all their shortest paths, where
+a wavelength-switching device splits it onto per-destination fibers (and
+mirrored on the destination side).
+
+Rules from the appendix:
+
+* any n residual fibers with a common source (or destination) combine into
+  ceil(n/4) fibers (Observation 2);
+* at most one wavelength-switching device per path (the de/mux loss budget),
+  so each residual fiber participates in at most one merge;
+* merging requires a genuinely shared subpath — with unique shortest paths,
+  passing through the same hut implies sharing the whole prefix.
+
+The greedy placement mirrors the appendix: score every (endpoint, hut)
+merge by net saving, apply the best, repeat while anything positive remains.
+The paper reports ~50% residual-fiber reduction, judged not worth the extra
+device class at current prices — which the cost benches reproduce.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.core.plan import IrisPlan, Pair
+from repro.cost.estimator import Inventory
+from repro.designs.wavelength import combinable_residual_fibers
+from repro.exceptions import ReproError
+
+
+@dataclass(frozen=True)
+class ResidualMerge:
+    """One wavelength-switched combination of residual fibers.
+
+    ``endpoint``
+        The DC whose residual fibers are combined.
+    ``hut``
+        Where the wavelength-switching device splits/joins them.
+    ``pairs``
+        The DC pairs whose residual fibers participate.
+    ``shared_spans``
+        Ducts on the shared endpoint->hut prefix.
+    """
+
+    endpoint: str
+    hut: str
+    pairs: tuple[Pair, ...]
+    shared_spans: int
+
+    @property
+    def fibers_before(self) -> int:
+        """Residual fibers entering the merge."""
+        return len(self.pairs)
+
+    @property
+    def fibers_after(self) -> int:
+        """Trunk fibers after combining (ceil(n/4))."""
+        return combinable_residual_fibers(len(self.pairs))
+
+    @property
+    def spans_saved(self) -> int:
+        """(fiber-pair, span) leases removed on the shared prefix."""
+        return self.shared_spans * (self.fibers_before - self.fibers_after)
+
+    @property
+    def oxc_ports(self) -> int:
+        """Device ports at the hut: per direction, k split-side fibers plus
+        ceil(k/4) trunk-side fibers."""
+        return 2 * (self.fibers_before + self.fibers_after)
+
+
+@dataclass(frozen=True)
+class HybridPlan:
+    """An Iris plan with wavelength-switched residual combining applied."""
+
+    base: IrisPlan
+    merges: tuple[ResidualMerge, ...]
+
+    @property
+    def residual_spans_before(self) -> int:
+        """Residual (fiber-pair, span) leases before combining."""
+        return self.base.residual_fiber_pairs()
+
+    @property
+    def residual_spans_saved(self) -> int:
+        """Leases removed by all merges."""
+        return sum(m.spans_saved for m in self.merges)
+
+    @property
+    def residual_reduction(self) -> float:
+        """Fraction of residual (fiber-pair, span) leases removed."""
+        before = self.residual_spans_before
+        if before == 0:
+            return 0.0
+        return self.residual_spans_saved / before
+
+    def inventory(self) -> Inventory:
+        """Iris inventory minus saved fiber, plus the wavelength devices."""
+        inv = self.base.inventory()
+        saved = self.residual_spans_saved
+        oxc = sum(m.oxc_ports for m in self.merges)
+        # Residual fibers removed also give up their duct OSS terminations.
+        oss_removed = 4 * sum(
+            m.fibers_before - m.fibers_after for m in self.merges
+        )
+        return Inventory(
+            dc_transceivers=inv.dc_transceivers,
+            dc_electrical_ports=inv.dc_electrical_ports,
+            innetwork_transceivers=inv.innetwork_transceivers,
+            innetwork_electrical_ports=inv.innetwork_electrical_ports,
+            oss_ports=max(0, inv.oss_ports - oss_removed),
+            oxc_ports=inv.oxc_ports + oxc,
+            amplifiers=inv.amplifiers,
+            fiber_pair_spans=inv.fiber_pair_spans - saved,
+            dc_oss_ports=inv.dc_oss_ports,
+        )
+
+
+def hybridize(plan: IrisPlan, max_combine: int = 4) -> HybridPlan:
+    """Greedily combine residual fibers with wavelength switching.
+
+    ``max_combine`` caps how many residual fibers share one trunk (4 per
+    Observation 2's worst case). The greedy maximizes fiber-span savings,
+    per Appendix B; device costs appear only in the final bill.
+    """
+    if max_combine < 2:
+        raise ReproError("combining fewer than 2 fibers is a no-op")
+    base_paths = plan.topology.base_paths
+
+    merged: set[Pair] = set()
+    merges: list[ResidualMerge] = []
+
+    while True:
+        # endpoint -> hut -> (pairs passing through, prefix span count).
+        groups: dict[tuple[str, str], list[Pair]] = defaultdict(list)
+        prefix_spans: dict[tuple[str, str], int] = {}
+        for pair, path in base_paths.items():
+            if pair in merged:
+                continue
+            for endpoint, ordered in ((path[0], path), (path[-1], tuple(reversed(path)))):
+                for depth, node in enumerate(ordered[1:-1], start=1):
+                    key = (endpoint, node)
+                    groups[key].append(pair)
+                    prefix_spans[key] = depth
+
+        best_gain = 0.0
+        best: ResidualMerge | None = None
+        for (endpoint, hut), pairs in groups.items():
+            if len(pairs) < 2:
+                continue
+            chosen = tuple(sorted(pairs)[:max_combine])
+            merge = ResidualMerge(
+                endpoint=endpoint,
+                hut=hut,
+                pairs=chosen,
+                shared_spans=prefix_spans[(endpoint, hut)],
+            )
+            # Appendix B scores candidates by potential fiber saving and
+            # repeats "as long as any fiber saving can be achieved"; the
+            # device cost shows up in the final bill, not the greedy.
+            gain = float(merge.spans_saved)
+            if gain > best_gain + 1e-9:
+                best_gain, best = gain, merge
+
+        if best is None:
+            break
+        merges.append(best)
+        merged.update(best.pairs)
+
+    return HybridPlan(base=plan, merges=tuple(merges))

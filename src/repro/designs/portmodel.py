@@ -1,0 +1,120 @@
+"""The §2.4 analytic port model (Fig 7).
+
+``N`` DCs of capacity ``P`` ports each are organized into ``G`` balanced
+groups; DCs within a group interconnect through a group-local hub, groups
+interconnect all-pairs. ``G = 1`` is the fully centralized hub-and-spoke,
+``G = N`` the fully distributed mesh.
+
+Port arithmetic (from the paper):
+
+* group-internal: 2 * P * N/G ports per group (DC side + hub downstream);
+* each hub also carries (G-1)/G * N * P ports upstream to other groups,
+  for exactly N*P ports per hub regardless of G;
+* total: (G + 1) * N * P ports.
+
+Fig 7 prices three realizations of this port count: electrical (every port
+has a DCI transceiver), electrical with short-reach transceivers for
+group-internal links (optimistic: needs <=2 km hub distances), and optical
+(in-network transceivers replaced by reconfigurable optical ports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cost.pricebook import PriceBook
+from repro.exceptions import ReproError
+
+
+@dataclass(frozen=True)
+class PortModelPoint:
+    """Port counts and costs of one (N, P, G) configuration."""
+
+    n_dcs: int
+    ports_per_dc: int
+    groups: int
+    total_ports: int
+    dc_ports: int
+    hub_ports: int
+    group_internal_ports: int
+    cross_group_ports: int
+    cost_electrical: float
+    cost_electrical_sr: float
+    cost_optical: float
+
+
+@dataclass(frozen=True)
+class PortModel:
+    """Closed-form §2.4 model over the centralized-to-distributed spectrum."""
+
+    n_dcs: int = 16
+    ports_per_dc: int = 1
+    prices: PriceBook = PriceBook.default()
+
+    def __post_init__(self) -> None:
+        if self.n_dcs < 1 or self.ports_per_dc < 1:
+            raise ReproError("N and P must be positive")
+
+    def valid_groups(self) -> list[int]:
+        """Group counts that divide N evenly (balanced groups)."""
+        return [g for g in range(1, self.n_dcs + 1) if self.n_dcs % g == 0]
+
+    def point(self, groups: int) -> PortModelPoint:
+        """Evaluate the model at ``groups`` groups."""
+        n, p, g = self.n_dcs, self.ports_per_dc, groups
+        if not (1 <= g <= n):
+            raise ReproError(f"groups must be in 1..{n}")
+        if n % g != 0:
+            raise ReproError(f"{g} groups do not divide {n} DCs evenly")
+
+        total_ports = (g + 1) * n * p
+        dc_ports = n * p
+        hub_ports = g * n * p  # N*P per hub, G hubs
+        group_internal = 2 * n * p  # DC side + hub downstream, summed over groups
+        cross_group = (g - 1) * n * p  # zero when fully centralized
+
+        pr = self.prices
+        per_port_dci = pr.electrical_port + pr.transceiver_dci
+        per_port_sr = pr.electrical_port + pr.transceiver_sr
+
+        cost_electrical = total_ports * per_port_dci
+        # SR optimistic variant: group-internal links (2NP ports) at SR
+        # prices; cross-group links keep DCI reach. A single region-wide
+        # "group" (G=1) cannot sit within SR's <=2 km reach, so the SR
+        # variant degenerates to plain electrical there.
+        if g == 1:
+            cost_electrical_sr = cost_electrical
+        else:
+            cost_electrical_sr = (
+                group_internal * per_port_sr + cross_group * per_port_dci
+            )
+        # Optical: the N*P capacity-facing DC ports keep their DCI
+        # transceivers; every in-network port becomes a reconfigurable
+        # optical (OSS) port.
+        in_network = total_ports - dc_ports
+        cost_optical = dc_ports * per_port_dci + in_network * pr.oss_port
+
+        return PortModelPoint(
+            n_dcs=n,
+            ports_per_dc=p,
+            groups=g,
+            total_ports=total_ports,
+            dc_ports=dc_ports,
+            hub_ports=hub_ports,
+            group_internal_ports=group_internal,
+            cross_group_ports=cross_group,
+            cost_electrical=cost_electrical,
+            cost_electrical_sr=cost_electrical_sr,
+            cost_optical=cost_optical,
+        )
+
+    def sweep(self) -> list[PortModelPoint]:
+        """The Fig 7 sweep over all balanced group counts."""
+        return [self.point(g) for g in self.valid_groups()]
+
+    def mesh_vs_centralized_ratio(self) -> float:
+        """Electrical cost of the full mesh relative to hub-and-spoke.
+
+        Closed form (N+1)/2: "roughly 7x" in the paper's 16-DC example.
+        """
+        return self.point(self.n_dcs).cost_electrical / self.point(1).cost_electrical

@@ -1,0 +1,101 @@
+"""Pure wavelength-switched network analysis (Appendix B).
+
+Would demultiplexing every fiber and switching individual wavelengths (via
+OXCs) beat Iris's coarse fiber switching? The paper's answer is no: with at
+most one OXC per path (TC4) and one amplifier (TC2), the flexibility cannot
+be exploited widely, a graph-coloring problem appears, and — decisive — the
+wavelength-switching components cost more than the n^2 residual fibers they
+would save. This module provides the Appendix B arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.plan import IrisPlan
+from repro.cost.pricebook import PriceBook
+from repro.exceptions import ReproError
+
+
+def worst_case_residual_wavelengths(
+    total_demand_wavelengths: float, n_destinations: int, lam: int
+) -> float:
+    """Worst-case wavelengths relegated to residual fibers (Appendix B).
+
+    A DC with aggregate demand ``D`` wavelengths toward ``n`` destinations
+    has base capacity floor(D / lam) full fibers; residual links carry the
+    rest. Spreading demand evenly maximizes the residual share at
+    ``(n - D/lam) * D/n``, which peaks at ``lam * n / 4`` for
+    ``D = lam * n / 2``.
+    """
+    d, n = total_demand_wavelengths, n_destinations
+    if n < 1 or lam < 1:
+        raise ReproError("need at least one destination and one wavelength")
+    if not (0 <= d <= lam * n):
+        raise ReproError("demand must be within 0..lam*n wavelengths")
+    return (n - d / lam) * d / n
+
+
+def max_worst_case_residual_wavelengths(n_destinations: int, lam: int) -> float:
+    """The peak of :func:`worst_case_residual_wavelengths` over demand."""
+    return lam * n_destinations / 4.0
+
+
+def combinable_residual_fibers(n_residual: int) -> int:
+    """Observation 2: n residual fibers combine into ceil(n/4) fibers."""
+    if n_residual < 0:
+        raise ReproError("residual fiber count must be non-negative")
+    return math.ceil(n_residual / 4)
+
+
+@dataclass(frozen=True)
+class WavelengthTradeoff:
+    """Appendix B's cost comparison for one planned region."""
+
+    residual_fiber_cost: float
+    oxc_port_premium: float
+    extra_amplifier_cost: float
+
+    @property
+    def oxc_upgrade_cost(self) -> float:
+        """Everything the wavelength-switched design adds."""
+        return self.oxc_port_premium + self.extra_amplifier_cost
+
+    @property
+    def fiber_switching_wins(self) -> bool:
+        """True when the n^2 residual fibers are cheaper than OXC gear."""
+        return self.residual_fiber_cost <= self.oxc_upgrade_cost
+
+
+def wavelength_vs_fiber_tradeoff(
+    plan: IrisPlan,
+    prices: PriceBook | None = None,
+    amplified_fraction: float = 0.5,
+) -> WavelengthTradeoff:
+    """Compare Iris's residual fibers with a wavelength-switched upgrade.
+
+    The wavelength-switched design would drop the residual fibers but must
+    (a) replace every in-network fiber-termination OSS port with an OXC
+    port (de/mux + space switching), and (b) pay for the OXC's ~9 dB
+    insertion loss (TC4): with only 20 dB of amplifier budget per run, a
+    path through an OXC usually needs amplification it did not need before.
+    ``amplified_fraction`` is the (conservative) share of fiber-pairs whose
+    path acquires one extra amplifier this way — the appendix notes that
+    with at most one OXC and one amplifier per path, "it is not feasible to
+    benefit from wavelength switching in many settings" at all.
+
+    At §3.3 prices the upgrade outweighs the residual fiber lease,
+    reproducing the Appendix B conclusion.
+    """
+    prices = prices or PriceBook.default()
+    residual_cost = plan.residual_fiber_pairs() * prices.fiber_pair_span
+    base_pairs = plan.topology.total_fiber_pairs()
+    oss_ports = 4 * base_pairs
+    port_premium = oss_ports * (prices.oxc_port - prices.oss_port)
+    extra_amps = amplified_fraction * base_pairs * prices.amplifier
+    return WavelengthTradeoff(
+        residual_fiber_cost=residual_cost,
+        oxc_port_premium=port_premium,
+        extra_amplifier_cost=extra_amps,
+    )

@@ -1,0 +1,224 @@
+"""Pure wavelength-switched network machinery (Appendix B).
+
+A wavelength-switched DCI demultiplexes every fiber at switching points and
+routes individual wavelengths through OXCs. Appendix B dismisses it for
+three reasons, all of which this module makes concrete and testable:
+
+1. **Wavelength continuity / collisions** — without wavelength conversion, a
+   signal keeps its colour end-to-end, so no two signals sharing a duct may
+   share a colour: a graph-colouring problem
+   (:func:`assign_wavelengths`). First-fit colouring works but couples the
+   whole region's wavelength plan, unlike Iris's DC-local assignment.
+2. **Optical budget** — an OXC costs ~9 dB of the 20 dB run budget (TC4),
+   so at most one OXC fits on a path, and paths through it usually need the
+   one permitted in-line amplifier just for the OXC
+   (:func:`oxc_path_feasible`).
+3. **Cost** — the OXC port premium plus the induced amplification exceeds
+   the n^2 residual fibers it would save
+   (:func:`repro.designs.wavelength.wavelength_vs_fiber_tradeoff`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.exceptions import PlanningError
+from repro.region.fibermap import Duct, FiberMap, duct_key
+from repro.units import (
+    AMPLIFIER_GAIN_DB,
+    FIBER_LOSS_DB_PER_KM,
+    OSS_INSERTION_LOSS_DB,
+    OXC_INSERTION_LOSS_DB,
+)
+
+Pair = tuple[str, str]
+
+
+@dataclass(frozen=True)
+class WavelengthPlan:
+    """A collision-free wavelength assignment.
+
+    ``colours`` maps (pair, demand-unit index) -> wavelength index;
+    ``duct_usage`` maps duct -> set of wavelengths in use.
+    """
+
+    colours: Mapping[tuple[Pair, int], int]
+    duct_usage: Mapping[Duct, frozenset[int]]
+    wavelengths_per_fiber: int
+
+    @property
+    def peak_usage(self) -> int:
+        """Most wavelengths in flight on any single duct."""
+        if not self.duct_usage:
+            return 0
+        return max(len(used) for used in self.duct_usage.values())
+
+    def colours_for(self, pair: Pair) -> list[int]:
+        """The wavelengths assigned to one DC pair's demand units."""
+        return sorted(
+            colour for (p, _), colour in self.colours.items() if p == pair
+        )
+
+    def validate(self) -> list[str]:
+        """Check the continuity/collision invariant explicitly."""
+        problems = []
+        for duct, used in self.duct_usage.items():
+            if len(used) > self.wavelengths_per_fiber:
+                problems.append(
+                    f"duct {duct}: {len(used)} wavelengths exceed the "
+                    f"{self.wavelengths_per_fiber}-channel fiber"
+                )
+        return problems
+
+
+def assign_wavelengths(
+    paths: Mapping[Pair, Sequence[str]],
+    demands: Mapping[Pair, int],
+    wavelengths_per_fiber: int,
+) -> WavelengthPlan:
+    """First-fit wavelength assignment under the continuity constraint.
+
+    Each of a pair's ``demands[pair]`` units gets the lowest colour free on
+    *every* duct of the pair's path. Raises :class:`PlanningError` when the
+    single-fiber spectrum is exhausted on some duct — the point where a
+    wavelength-switched design must light a parallel fiber anyway.
+    """
+    if wavelengths_per_fiber < 1:
+        raise PlanningError("need at least one wavelength per fiber")
+    usage: dict[Duct, set[int]] = {}
+    colours: dict[tuple[Pair, int], int] = {}
+
+    for pair in demands:
+        if pair not in paths:
+            raise PlanningError(f"no path for pair {pair}")
+    # Longest paths first: they are the hardest to colour.
+    ordered = sorted(demands, key=lambda p: (-len(paths[p]), p))
+    for pair in ordered:
+        count = demands[pair]
+        if count < 0:
+            raise PlanningError(f"negative demand for {pair}")
+        if count == 0:
+            continue
+        path = paths[pair]
+        ducts = [duct_key(u, v) for u, v in zip(path, path[1:])]
+        for unit in range(count):
+            taken = set()
+            for duct in ducts:
+                taken |= usage.get(duct, set())
+            colour = next(
+                (c for c in range(wavelengths_per_fiber) if c not in taken),
+                None,
+            )
+            if colour is None:
+                raise PlanningError(
+                    f"wavelength exhaustion: no colour free on all ducts of "
+                    f"{pair} (unit {unit}); a parallel fiber is required"
+                )
+            colours[(pair, unit)] = colour
+            for duct in ducts:
+                usage.setdefault(duct, set()).add(colour)
+
+    return WavelengthPlan(
+        colours=colours,
+        duct_usage={d: frozenset(u) for d, u in usage.items()},
+        wavelengths_per_fiber=wavelengths_per_fiber,
+    )
+
+
+@dataclass(frozen=True)
+class OxcFeasibility:
+    """Why a path can or cannot host an OXC switching point."""
+
+    feasible: bool
+    needs_inline_amp: bool
+    reason: str
+
+
+def oxc_path_feasible(
+    fmap: FiberMap,
+    path: Sequence[str],
+    oxc_node: str,
+) -> OxcFeasibility:
+    """Can this path afford one OXC at ``oxc_node`` (TC2 + TC4)?
+
+    The OXC's ~9 dB insertion loss counts against the 20 dB per-run budget;
+    remaining switching points still cost 1.5 dB each. If a single run
+    cannot absorb it, the one permitted in-line amplifier must sit at the
+    OXC — if even that fails, the path cannot be wavelength-switched.
+    """
+    if oxc_node not in path[1:-1]:
+        return OxcFeasibility(False, False, "OXC must be an interior node")
+    nodes = list(path)
+    total_km = fmap.path_length(nodes)
+    other_switches = len(nodes) - 1  # every node but the OXC passes an OSS
+    loss_unamped = (
+        total_km * FIBER_LOSS_DB_PER_KM
+        + other_switches * OSS_INSERTION_LOSS_DB
+        + OXC_INSERTION_LOSS_DB
+    )
+    if loss_unamped <= AMPLIFIER_GAIN_DB:
+        return OxcFeasibility(True, False, "fits in one run")
+
+    # Amplify at the OXC: split into two runs around it.
+    idx = nodes.index(oxc_node)
+    first_km = fmap.path_length(nodes[: idx + 1])
+    second_km = total_km - first_km
+    first_oss = idx + 1  # source OSS + interior switches + OXC entry side
+    second_oss = len(nodes) - idx
+    run1 = (
+        first_km * FIBER_LOSS_DB_PER_KM
+        + first_oss * OSS_INSERTION_LOSS_DB
+        + OXC_INSERTION_LOSS_DB / 2.0
+    )
+    run2 = (
+        second_km * FIBER_LOSS_DB_PER_KM
+        + second_oss * OSS_INSERTION_LOSS_DB
+        + OXC_INSERTION_LOSS_DB / 2.0
+    )
+    if run1 <= AMPLIFIER_GAIN_DB and run2 <= AMPLIFIER_GAIN_DB:
+        return OxcFeasibility(
+            True, True, "needs the in-line amplifier at the OXC"
+        )
+    return OxcFeasibility(
+        False,
+        True,
+        f"runs of {run1:.1f}/{run2:.1f} dB exceed the 20 dB budget even "
+        "with amplification at the OXC",
+    )
+
+
+def colourable_fraction(
+    paths: Mapping[Pair, Sequence[str]],
+    demands: Mapping[Pair, int],
+    wavelengths_per_fiber: int,
+) -> float:
+    """Fraction of demand units assignable before spectrum exhaustion.
+
+    A diagnostic for how far single-fiber wavelength switching gets: 1.0
+    means everything coloured; below 1.0 the design needs parallel fibers —
+    eroding its one advantage over fiber switching.
+    """
+    total = sum(demands.values())
+    if total == 0:
+        return 1.0
+    assigned = 0
+    usage: dict[Duct, set[int]] = {}
+    ordered = sorted(demands, key=lambda p: (-len(paths[p]), p))
+    for pair in ordered:
+        path = paths[pair]
+        ducts = [duct_key(u, v) for u, v in zip(path, path[1:])]
+        for _ in range(demands[pair]):
+            taken = set()
+            for duct in ducts:
+                taken |= usage.get(duct, set())
+            colour = next(
+                (c for c in range(wavelengths_per_fiber) if c not in taken),
+                None,
+            )
+            if colour is None:
+                continue
+            assigned += 1
+            for duct in ducts:
+                usage.setdefault(duct, set()).add(colour)
+    return assigned / total

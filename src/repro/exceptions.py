@@ -1,0 +1,47 @@
+"""Exception hierarchy shared across the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class RegionError(ReproError):
+    """A region specification is malformed or internally inconsistent."""
+
+
+class InfeasibleRegionError(RegionError):
+    """No plan can satisfy the operational constraints on this region.
+
+    Raised, for example, when a DC pair exceeds the SLA fiber distance under
+    some tolerated failure scenario, or when the fiber map disconnects.
+    """
+
+    def __init__(self, message, scenario=None, pair=None):
+        super().__init__(message)
+        self.scenario = scenario
+        self.pair = pair
+
+
+class PlanningError(ReproError):
+    """The planner could not produce a plan meeting all constraints."""
+
+
+class ConstraintViolation(ReproError):
+    """An optical-layer technology constraint (TC1-TC4) is violated."""
+
+    def __init__(self, message, constraint=None, path=None):
+        super().__init__(message)
+        self.constraint = constraint
+        self.path = path
+
+
+class DeviceError(ReproError):
+    """A (simulated) optical device rejected or failed a command."""
+
+
+class ControlPlaneError(ReproError):
+    """The controller could not converge the network to the target state."""
+
+
+class SimulationError(ReproError):
+    """The flow-level simulator was given an inconsistent configuration."""

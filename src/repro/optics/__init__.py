@@ -1,0 +1,58 @@
+"""Optical physical-layer substrate (§3.2, Figs 8-9, §6.2).
+
+Models the point-to-point DCI optical chain of Fig 8 — transceivers, WSS
+mux/demux, optical space switches, EDFAs, power limiters, fiber spans — well
+enough to reproduce the paper's physical-layer results: the OSNR-vs-amplifier
+law (Fig 9), the technology constraints TC1-TC4, and the testbed BER
+behaviour (Fig 14).
+"""
+
+from repro.optics.components import (
+    Amplifier,
+    FiberSpan,
+    OpticalSpaceSwitch,
+    OpticalCrossConnect,
+    PowerLimiter,
+    Transceiver,
+    WavelengthSelectiveSwitch,
+)
+from repro.optics.budget import LinkBudget, LinkBudgetResult, evaluate_chain
+from repro.optics.osnr import cascade_penalty_db, osnr_after_amplifiers_db
+from repro.optics.ber import (
+    ber_16qam,
+    post_fec_ber,
+    prefec_ber_from_osnr_db,
+    required_osnr_db,
+)
+from repro.optics.constraints import (
+    PathProfile,
+    check_path,
+    max_oss_traversals,
+    violations,
+)
+from repro.optics.spectrum import ChannelPlan, SpectrumLoad
+
+__all__ = [
+    "Amplifier",
+    "FiberSpan",
+    "OpticalSpaceSwitch",
+    "OpticalCrossConnect",
+    "PowerLimiter",
+    "Transceiver",
+    "WavelengthSelectiveSwitch",
+    "LinkBudget",
+    "LinkBudgetResult",
+    "evaluate_chain",
+    "cascade_penalty_db",
+    "osnr_after_amplifiers_db",
+    "ber_16qam",
+    "post_fec_ber",
+    "prefec_ber_from_osnr_db",
+    "required_osnr_db",
+    "PathProfile",
+    "check_path",
+    "max_oss_traversals",
+    "violations",
+    "ChannelPlan",
+    "SpectrumLoad",
+]

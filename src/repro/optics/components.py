@@ -1,0 +1,191 @@
+"""Optical component models for the DCI chain of Fig 8.
+
+Each element reports how it transforms a propagating channel's signal power
+and accumulated ASE noise; the budget engine (:mod:`repro.optics.budget`)
+folds a chain of elements to an end-to-end received power and OSNR.
+
+Noise bookkeeping uses the 0.1 nm (12.5 GHz) reference bandwidth customary
+for OSNR. The quantum reference floor h*nu*B_ref at 193.4 THz is ~-58 dBm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConstraintViolation
+from repro.units import (
+    AMPLIFIER_GAIN_DB,
+    AMPLIFIER_NOISE_FIGURE_DB,
+    FIBER_LOSS_DB_PER_KM,
+    OSS_INSERTION_LOSS_DB,
+    OXC_INSERTION_LOSS_DB,
+    RX_OSNR_THRESHOLD_DB,
+    RX_SENSITIVITY_DBM,
+    TX_POWER_DBM,
+    WSS_INSERTION_LOSS_DB,
+    db_to_linear,
+    dbm_to_mw,
+)
+
+#: h * nu * B_ref in dBm for the 0.1 nm OSNR reference bandwidth.
+QUANTUM_NOISE_FLOOR_DBM = -58.0
+
+
+@dataclass(frozen=True)
+class OpticalState:
+    """A channel in flight: signal power (dBm) and ASE noise power (mW)."""
+
+    signal_dbm: float
+    noise_mw: float
+
+    def attenuate(self, loss_db: float) -> "OpticalState":
+        """Apply a passive loss: signal and noise drop together."""
+        if loss_db < 0:
+            raise ValueError("loss must be non-negative")
+        return OpticalState(
+            signal_dbm=self.signal_dbm - loss_db,
+            noise_mw=self.noise_mw / db_to_linear(loss_db),
+        )
+
+
+@dataclass(frozen=True)
+class FiberSpan:
+    """An uninterrupted run of fiber (a "fiber span", §2)."""
+
+    length_km: float
+    loss_db_per_km: float = FIBER_LOSS_DB_PER_KM
+
+    def __post_init__(self) -> None:
+        if self.length_km < 0:
+            raise ValueError("span length must be non-negative")
+        if self.loss_db_per_km <= 0:
+            raise ValueError("fiber loss must be positive")
+
+    @property
+    def loss_db(self) -> float:
+        """Total span attenuation, dB."""
+        return self.length_km * self.loss_db_per_km
+
+    def propagate(self, state: OpticalState) -> OpticalState:
+        """Attenuate the channel by the span loss."""
+        return state.attenuate(self.loss_db)
+
+
+@dataclass(frozen=True)
+class Amplifier:
+    """An EDFA operated at fixed gain (§5.1's one-time design decision).
+
+    Amplifies signal and incoming noise by ``gain_db`` and adds its own ASE:
+    N_add = NF * G * (h nu B_ref), i.e. noise figure referred to the input.
+    """
+
+    gain_db: float = AMPLIFIER_GAIN_DB
+    noise_figure_db: float = AMPLIFIER_NOISE_FIGURE_DB
+    max_input_dbm: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.gain_db <= 0:
+            raise ValueError("amplifier gain must be positive")
+        if self.noise_figure_db < 0:
+            raise ValueError("noise figure must be non-negative")
+
+    def propagate(self, state: OpticalState) -> OpticalState:
+        """Amplify signal and noise, adding the EDFA's own ASE."""
+        if state.signal_dbm > self.max_input_dbm:
+            raise ConstraintViolation(
+                f"amplifier input power {state.signal_dbm:.1f} dBm exceeds "
+                f"{self.max_input_dbm:.1f} dBm; deploy a power limiter (TC3)",
+                constraint="TC3",
+            )
+        gain = db_to_linear(self.gain_db)
+        ase = (
+            db_to_linear(self.noise_figure_db)
+            * gain
+            * dbm_to_mw(QUANTUM_NOISE_FLOOR_DBM)
+        )
+        return OpticalState(
+            signal_dbm=state.signal_dbm + self.gain_db,
+            noise_mw=state.noise_mw * gain + ase,
+        )
+
+
+@dataclass(frozen=True)
+class PowerLimiter:
+    """Bounds the input optical power to the next element (TC3, §5.1).
+
+    Iris places one before each amplifier so fixed-gain amps never see
+    excessive input after a reconfiguration shortens their input span.
+    """
+
+    max_output_dbm: float
+
+    def propagate(self, state: OpticalState) -> OpticalState:
+        """Clamp the channel to the configured maximum power."""
+        excess = state.signal_dbm - self.max_output_dbm
+        if excess <= 0:
+            return state
+        return state.attenuate(excess)
+
+
+@dataclass(frozen=True)
+class OpticalSpaceSwitch:
+    """An OSS: fiber-granularity switching, ~1.5 dB insertion loss (TC4)."""
+
+    insertion_loss_db: float = OSS_INSERTION_LOSS_DB
+
+    def propagate(self, state: OpticalState) -> OpticalState:
+        """Apply the switch's insertion loss."""
+        return state.attenuate(self.insertion_loss_db)
+
+
+@dataclass(frozen=True)
+class OpticalCrossConnect:
+    """An OXC: wavelength-granularity switching, ~9 dB insertion loss (TC4)."""
+
+    insertion_loss_db: float = OXC_INSERTION_LOSS_DB
+
+    def propagate(self, state: OpticalState) -> OpticalState:
+        """Apply the cross-connect's insertion loss."""
+        return state.attenuate(self.insertion_loss_db)
+
+
+@dataclass(frozen=True)
+class WavelengthSelectiveSwitch:
+    """A WSS used as mux/demux at the DC edge (Fig 8)."""
+
+    insertion_loss_db: float = WSS_INSERTION_LOSS_DB
+
+    def propagate(self, state: OpticalState) -> OpticalState:
+        """Apply the mux/demux insertion loss."""
+        return state.attenuate(self.insertion_loss_db)
+
+
+@dataclass(frozen=True)
+class Transceiver:
+    """A DCI coherent transceiver (400ZR class: 400 Gbps DP-16QAM).
+
+    ``launch`` emits a channel whose OSNR is referenced to the quantum noise
+    floor (the cleanest physically meaningful reference); penalties reported
+    by the budget engine are relative to this launch OSNR, which makes the
+    first amplifier's penalty equal its noise figure, as measured in Fig 9.
+    """
+
+    tx_power_dbm: float = TX_POWER_DBM
+    rx_sensitivity_dbm: float = RX_SENSITIVITY_DBM
+    rx_osnr_threshold_db: float = RX_OSNR_THRESHOLD_DB
+    baud_gbaud: float = 59.84
+    tunable: bool = True
+
+    def launch(self) -> OpticalState:
+        """The channel state at the transmitter output."""
+        return OpticalState(
+            signal_dbm=self.tx_power_dbm,
+            noise_mw=dbm_to_mw(QUANTUM_NOISE_FLOOR_DBM),
+        )
+
+    def can_receive(self, power_dbm: float, osnr_db: float) -> bool:
+        """Whether the receiver closes the link at this power and OSNR."""
+        return (
+            power_dbm >= self.rx_sensitivity_dbm
+            and osnr_db >= self.rx_osnr_threshold_db
+        )

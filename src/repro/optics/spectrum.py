@@ -1,0 +1,85 @@
+"""C-band channel plans and ASE channel emulation (§5.1 "Channel emulation").
+
+Iris transmits the full C-band per fiber even when only some wavelengths
+carry data: unused slots are filled with shaped ASE noise so that every
+amplifier sees a constant, uniform spectral load regardless of which "live"
+channels a reconfiguration moved. This is what lets amplifiers run at fixed
+gain with no online power management (TC3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable
+
+from repro.exceptions import ReproError
+
+#: Start of the C-band grid, THz.
+C_BAND_START_THZ = 191.30
+
+
+@dataclass(frozen=True)
+class ChannelPlan:
+    """A DWDM grid: ``count`` channels spaced ``spacing_ghz`` apart."""
+
+    count: int = 40
+    spacing_ghz: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ReproError("channel plan needs at least one channel")
+        if self.spacing_ghz <= 0:
+            raise ReproError("channel spacing must be positive")
+
+    def frequency_thz(self, index: int) -> float:
+        """Centre frequency of channel ``index``."""
+        if not (0 <= index < self.count):
+            raise ReproError(f"channel index {index} out of range 0..{self.count - 1}")
+        return C_BAND_START_THZ + index * self.spacing_ghz / 1000.0
+
+    def indices(self) -> range:
+        """All channel indices."""
+        return range(self.count)
+
+
+@dataclass(frozen=True)
+class SpectrumLoad:
+    """Which channels of a fiber are live vs ASE-filled.
+
+    Invariant (checked): live and emulated sets are disjoint and together
+    cover the whole plan — the fiber always carries a full C-band load.
+    """
+
+    plan: ChannelPlan
+    live: FrozenSet[int] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        bad = [i for i in self.live if not (0 <= i < self.plan.count)]
+        if bad:
+            raise ReproError(f"live channels out of plan range: {sorted(bad)}")
+
+    @property
+    def emulated(self) -> frozenset[int]:
+        """Channels filled by the ASE channel emulator."""
+        return frozenset(self.plan.indices()) - self.live
+
+    @property
+    def is_fully_loaded(self) -> bool:
+        """Always true by construction; kept as an explicit audit hook."""
+        return len(self.live) + len(self.emulated) == self.plan.count
+
+    def add_live(self, channels: Iterable[int]) -> "SpectrumLoad":
+        """Turn ``channels`` live (removing them from ASE emulation)."""
+        return SpectrumLoad(self.plan, self.live | frozenset(channels))
+
+    def drop_live(self, channels: Iterable[int]) -> "SpectrumLoad":
+        """Return ``channels`` to ASE emulation."""
+        dropping = frozenset(channels)
+        missing = dropping - self.live
+        if missing:
+            raise ReproError(f"cannot drop non-live channels {sorted(missing)}")
+        return SpectrumLoad(self.plan, self.live - dropping)
+
+    def total_channels(self) -> int:
+        """Total spectral load seen by amplifiers: always the full plan."""
+        return self.plan.count

@@ -1,0 +1,33 @@
+"""Regional substrate: fiber maps, synthetic regions, placement, siting."""
+
+from repro.region.fibermap import (
+    FiberMap,
+    NodeKind,
+    OperationalConstraints,
+    RegionSpec,
+    duct_key,
+)
+from repro.region.geometry import Point, euclidean_km
+from repro.region.synthetic import SyntheticMapConfig, generate_fiber_map
+from repro.region.placement import PlacementConfig, place_dcs
+from repro.region.catalog import fiber_map_ensemble, region_ensemble, make_region
+from repro.region.stats import map_stats, region_summary
+
+__all__ = [
+    "FiberMap",
+    "NodeKind",
+    "OperationalConstraints",
+    "RegionSpec",
+    "duct_key",
+    "Point",
+    "euclidean_km",
+    "SyntheticMapConfig",
+    "generate_fiber_map",
+    "PlacementConfig",
+    "place_dcs",
+    "fiber_map_ensemble",
+    "region_ensemble",
+    "make_region",
+    "map_stats",
+    "region_summary",
+]

@@ -1,0 +1,342 @@
+"""Fiber maps and region specifications (§2 of the paper).
+
+A :class:`FiberMap` is the graph of DC sites, fiber huts, and fiber ducts
+available in a region. Duct capacity (how many fibers to lease in each duct)
+is an *output* of planning, not part of the map: per industry practice each
+duct contains hundreds of fibers, of which only a fraction is lit.
+
+A :class:`RegionSpec` bundles the map with the planner's other inputs: per-DC
+network capacities (in fibers), the DWDM channel plan, and the operational
+constraints (OC1-OC4).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import networkx as nx
+
+from repro.exceptions import RegionError
+from repro.region.geometry import Point
+from repro.units import (
+    GBPS_PER_WAVELENGTH_400ZR,
+    MAX_SPAN_KM,
+    SLA_MAX_FIBER_KM,
+)
+
+#: A duct is identified by its endpoint pair in canonical (sorted) order.
+Duct = tuple[str, str]
+
+
+def duct_key(u: str, v: str) -> Duct:
+    """Canonical identifier for the duct between nodes ``u`` and ``v``."""
+    if u == v:
+        raise RegionError(f"duct endpoints must differ, got {u!r} twice")
+    return (u, v) if u <= v else (v, u)
+
+
+def pair_key(a: str, b: str) -> tuple[str, str]:
+    """Canonical identifier for an unordered DC pair."""
+    if a == b:
+        raise RegionError(f"DC pair endpoints must differ, got {a!r} twice")
+    return (a, b) if a <= b else (b, a)
+
+
+class NodeKind(enum.Enum):
+    """The two node types of a fiber map (§2: DCs and fiber huts)."""
+
+    DC = "dc"
+    HUT = "hut"
+
+
+class FiberMap:
+    """The region's available fiber plant: DCs, huts, and ducts.
+
+    Thin wrapper over an undirected :class:`networkx.Graph`; nodes carry a
+    ``kind`` and planar ``(x, y)`` coordinates in km, edges carry the duct's
+    fiber ``length_km``.
+    """
+
+    def __init__(self) -> None:
+        self._graph = nx.Graph()
+
+    # -- construction -------------------------------------------------------
+
+    def add_hut(self, name: str, x: float, y: float) -> None:
+        """Add a fiber hut (intermediate switching/amplification site)."""
+        self._add_node(name, NodeKind.HUT, x, y)
+
+    def add_dc(self, name: str, x: float, y: float) -> None:
+        """Add a data center site."""
+        self._add_node(name, NodeKind.DC, x, y)
+
+    def _add_node(self, name: str, kind: NodeKind, x: float, y: float) -> None:
+        if name in self._graph:
+            raise RegionError(f"node {name!r} already exists")
+        self._graph.add_node(name, kind=kind, x=float(x), y=float(y))
+
+    def add_duct(self, u: str, v: str, length_km: float | None = None) -> Duct:
+        """Add a fiber duct between two existing nodes.
+
+        ``length_km`` defaults to the Euclidean distance between the nodes
+        (i.e. a route factor of 1); synthetic maps generally pass an inflated
+        length to model street-level routing.
+        """
+        for n in (u, v):
+            if n not in self._graph:
+                raise RegionError(f"cannot add duct: unknown node {n!r}")
+        key = duct_key(u, v)
+        if self._graph.has_edge(u, v):
+            raise RegionError(f"duct {key} already exists")
+        if length_km is None:
+            length_km = self.position(u).distance_to(self.position(v))
+        if length_km <= 0:
+            raise RegionError(f"duct {key} must have positive length")
+        self._graph.add_edge(u, v, length_km=float(length_km))
+        return key
+
+    def remove_duct(self, u: str, v: str) -> None:
+        """Remove a duct (used when pruning spans beyond TC1 reach)."""
+        if not self._graph.has_edge(u, v):
+            raise RegionError(f"no duct between {u!r} and {v!r}")
+        self._graph.remove_edge(u, v)
+
+    def copy(self) -> "FiberMap":
+        """An independent deep copy of this map."""
+        clone = FiberMap()
+        clone._graph = self._graph.copy()
+        return clone
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying graph (treat as read-only)."""
+        return self._graph
+
+    @property
+    def dcs(self) -> list[str]:
+        """Names of all DC nodes, sorted."""
+        return sorted(
+            n for n, d in self._graph.nodes(data=True) if d["kind"] is NodeKind.DC
+        )
+
+    @property
+    def huts(self) -> list[str]:
+        """Names of all hut nodes, sorted."""
+        return sorted(
+            n for n, d in self._graph.nodes(data=True) if d["kind"] is NodeKind.HUT
+        )
+
+    @property
+    def nodes(self) -> list[str]:
+        """All node names, sorted."""
+        return sorted(self._graph.nodes)
+
+    @property
+    def ducts(self) -> list[Duct]:
+        """All duct keys, sorted."""
+        return sorted(duct_key(u, v) for u, v in self._graph.edges)
+
+    def kind(self, name: str) -> NodeKind:
+        """The :class:`NodeKind` of node ``name``."""
+        try:
+            return self._graph.nodes[name]["kind"]
+        except KeyError:
+            raise RegionError(f"unknown node {name!r}") from None
+
+    def position(self, name: str) -> Point:
+        """Planar position of node ``name``."""
+        try:
+            data = self._graph.nodes[name]
+        except KeyError:
+            raise RegionError(f"unknown node {name!r}") from None
+        return Point(data["x"], data["y"])
+
+    def duct_length(self, u: str, v: str) -> float:
+        """Fiber length of the duct between ``u`` and ``v`` in km."""
+        try:
+            return self._graph.edges[u, v]["length_km"]
+        except KeyError:
+            raise RegionError(f"no duct between {u!r} and {v!r}") from None
+
+    def has_duct(self, u: str, v: str) -> bool:
+        """Whether a duct exists between ``u`` and ``v``."""
+        return self._graph.has_edge(u, v)
+
+    def dc_pairs(self) -> list[tuple[str, str]]:
+        """All unordered DC pairs, canonically ordered."""
+        return [pair_key(a, b) for a, b in itertools.combinations(self.dcs, 2)]
+
+    # -- paths ----------------------------------------------------------------
+
+    def subgraph_without(self, failed_ducts: Iterable[Duct]) -> nx.Graph:
+        """A graph view of the map with ``failed_ducts`` removed.
+
+        A "fiber cut" in the paper is a duct destruction: all fibers in the
+        duct are lost at once (OC4), so removal is at duct granularity.
+        """
+        excluded = {duct_key(u, v) for u, v in failed_ducts}
+        if not excluded:
+            return self._graph
+
+        def edge_ok(u: str, v: str) -> bool:
+            return duct_key(u, v) not in excluded
+
+        return nx.subgraph_view(self._graph, filter_edge=edge_ok)
+
+    def shortest_path(
+        self, a: str, b: str, exclude_ducts: Iterable[Duct] = ()
+    ) -> tuple[float, list[str]]:
+        """Shortest fiber path from ``a`` to ``b``, optionally under failures.
+
+        Returns ``(length_km, node_list)``. Raises
+        :class:`networkx.NetworkXNoPath` if disconnected.
+        """
+        graph = self.subgraph_without(exclude_ducts)
+        length, path = nx.single_source_dijkstra(
+            graph, a, target=b, weight="length_km"
+        )
+        return length, path
+
+    def fiber_distance(self, a: str, b: str) -> float:
+        """Shortest-path fiber distance between two nodes, km."""
+        return self.shortest_path(a, b)[0]
+
+    def shortest_paths_from(
+        self, source: str, exclude_ducts: Iterable[Duct] = ()
+    ) -> tuple[dict[str, float], dict[str, list[str]]]:
+        """Dijkstra distances and paths from ``source`` to every node."""
+        graph = self.subgraph_without(exclude_ducts)
+        return nx.single_source_dijkstra(graph, source, weight="length_km")
+
+    def path_length(self, path: Sequence[str]) -> float:
+        """Total fiber length of an explicit node path, km."""
+        if len(path) < 2:
+            return 0.0
+        return sum(self.duct_length(u, v) for u, v in zip(path, path[1:]))
+
+    def path_ducts(self, path: Sequence[str]) -> list[Duct]:
+        """The ducts traversed by an explicit node path."""
+        return [duct_key(u, v) for u, v in zip(path, path[1:])]
+
+    # -- misc ------------------------------------------------------------------
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._graph
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def __repr__(self) -> str:
+        return (
+            f"FiberMap(dcs={len(self.dcs)}, huts={len(self.huts)}, "
+            f"ducts={self._graph.number_of_edges()})"
+        )
+
+
+@dataclass(frozen=True)
+class OperationalConstraints:
+    """The operational constraints OC1-OC4 of §3.1.
+
+    ``sla_fiber_km``
+        OC1: maximum DC-DC fiber distance implied by the latency SLA.
+    ``failure_tolerance``
+        OC4: number of simultaneous duct cuts that must be tolerated while
+        OC1-OC3 continue to hold.
+    ``require_shortest_path``
+        OC3: route every DC pair over its shortest available physical path.
+    ``max_span_km``
+        TC1 (kept here because it prunes the input graph): longest duct that
+        can be operated point-to-point without in-line amplification.
+    """
+
+    sla_fiber_km: float = SLA_MAX_FIBER_KM
+    failure_tolerance: int = 2
+    require_shortest_path: bool = True
+    max_span_km: float = MAX_SPAN_KM
+
+    def __post_init__(self) -> None:
+        if self.sla_fiber_km <= 0:
+            raise RegionError("SLA fiber distance must be positive")
+        if self.failure_tolerance < 0:
+            raise RegionError("failure tolerance must be non-negative")
+        if self.max_span_km <= 0:
+            raise RegionError("max span must be positive")
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """Everything the network designer is handed (§2): the three inputs.
+
+    ``fiber_map``
+        DC sites, fiber huts, and available ducts.
+    ``dc_fibers``
+        Per-DC network capacity expressed in fibers: capacity B Gbps
+        translates to B / (C * lambda) fibers (§2).
+    ``wavelengths_per_fiber``
+        DWDM channel count per fiber (lambda; 40-64 in the paper).
+    ``gbps_per_wavelength``
+        Line rate per wavelength (C; 400 for 400ZR).
+    ``constraints``
+        Operational constraints OC1-OC4.
+    """
+
+    fiber_map: FiberMap
+    dc_fibers: Mapping[str, int]
+    wavelengths_per_fiber: int = 40
+    gbps_per_wavelength: float = GBPS_PER_WAVELENGTH_400ZR
+    constraints: OperationalConstraints = field(default_factory=OperationalConstraints)
+
+    def __post_init__(self) -> None:
+        dcs = set(self.fiber_map.dcs)
+        declared = set(self.dc_fibers)
+        if declared != dcs:
+            missing = dcs - declared
+            extra = declared - dcs
+            raise RegionError(
+                "dc_fibers must cover exactly the map's DCs; "
+                f"missing={sorted(missing)} extra={sorted(extra)}"
+            )
+        for dc, fibers in self.dc_fibers.items():
+            if not isinstance(fibers, int) or fibers <= 0:
+                raise RegionError(f"DC {dc!r} capacity must be a positive int")
+        if self.wavelengths_per_fiber <= 0:
+            raise RegionError("wavelengths_per_fiber must be positive")
+        if self.gbps_per_wavelength <= 0:
+            raise RegionError("gbps_per_wavelength must be positive")
+
+    @property
+    def dcs(self) -> list[str]:
+        """Names of the region's DCs, sorted."""
+        return self.fiber_map.dcs
+
+    def fibers(self, dc: str) -> int:
+        """Capacity of ``dc`` in fibers."""
+        try:
+            return self.dc_fibers[dc]
+        except KeyError:
+            raise RegionError(f"unknown DC {dc!r}") from None
+
+    def capacity_gbps(self, dc: str) -> float:
+        """Capacity of ``dc`` in Gbps."""
+        return self.fibers(dc) * self.wavelengths_per_fiber * self.gbps_per_wavelength
+
+    def transceivers(self, dc: str) -> int:
+        """Electrical ports / transceivers P = B / C required at ``dc`` (§2)."""
+        return self.fibers(dc) * self.wavelengths_per_fiber
+
+    def total_fibers(self) -> int:
+        """Sum of all DC capacities in fibers."""
+        return sum(self.dc_fibers.values())
+
+    def pair_demand_fibers(self, a: str, b: str) -> int:
+        """Worst-case hose demand of a DC pair: min of the two capacities."""
+        return min(self.fibers(a), self.fibers(b))
+
+    def iter_pairs(self) -> Iterator[tuple[str, str]]:
+        """Iterate canonical DC pairs."""
+        return iter(self.fiber_map.dc_pairs())

@@ -1,0 +1,87 @@
+"""Descriptive statistics of fiber maps and regions.
+
+Used to characterize the synthetic ensembles against the regime the paper
+describes (regions of tens of km, short hop counts, metro route factors) and
+to explain reproduction deviations quantitatively in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import RegionError
+from repro.region.fibermap import FiberMap, RegionSpec
+
+
+@dataclass(frozen=True)
+class MapStats:
+    """Shape of one fiber map / region."""
+
+    dcs: int
+    huts: int
+    ducts: int
+    mean_duct_km: float
+    mean_route_factor: float
+    mean_pair_distance_km: float
+    max_pair_distance_km: float
+    mean_pair_hops: float
+    max_pair_hops: int
+
+
+def _mean(values) -> float:
+    values = list(values)
+    if not values:
+        raise RegionError("mean of empty data")
+    return sum(values) / len(values)
+
+
+def map_stats(fmap: FiberMap) -> MapStats:
+    """Statistics over ducts and all DC-pair shortest paths."""
+    ducts = fmap.ducts
+    if not ducts:
+        raise RegionError("fiber map has no ducts")
+    lengths = [fmap.duct_length(u, v) for u, v in ducts]
+    factors = []
+    for u, v in ducts:
+        geo = fmap.position(u).distance_to(fmap.position(v))
+        if geo > 1e-6:
+            factors.append(fmap.duct_length(u, v) / geo)
+
+    pair_km: list[float] = []
+    pair_hops: list[int] = []
+    for a, b in fmap.dc_pairs():
+        km, path = fmap.shortest_path(a, b)
+        pair_km.append(km)
+        pair_hops.append(len(path) - 1)
+
+    return MapStats(
+        dcs=len(fmap.dcs),
+        huts=len(fmap.huts),
+        ducts=len(ducts),
+        mean_duct_km=_mean(lengths),
+        mean_route_factor=_mean(factors) if factors else 1.0,
+        mean_pair_distance_km=_mean(pair_km) if pair_km else 0.0,
+        max_pair_distance_km=max(pair_km) if pair_km else 0.0,
+        mean_pair_hops=_mean(pair_hops) if pair_hops else 0.0,
+        max_pair_hops=max(pair_hops) if pair_hops else 0,
+    )
+
+
+def region_summary(region: RegionSpec) -> dict[str, float | int]:
+    """A flat summary suitable for CLI tables and logs."""
+    stats = map_stats(region.fiber_map)
+    return {
+        "dcs": stats.dcs,
+        "huts": stats.huts,
+        "ducts": stats.ducts,
+        "total_capacity_tbps": sum(
+            region.capacity_gbps(dc) for dc in region.dcs
+        )
+        / 1000.0,
+        "mean_pair_distance_km": round(stats.mean_pair_distance_km, 1),
+        "max_pair_distance_km": round(stats.max_pair_distance_km, 1),
+        "mean_pair_hops": round(stats.mean_pair_hops, 2),
+        "mean_route_factor": round(stats.mean_route_factor, 2),
+        "sla_fiber_km": region.constraints.sla_fiber_km,
+        "failure_tolerance": region.constraints.failure_tolerance,
+    }

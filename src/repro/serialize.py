@@ -1,0 +1,128 @@
+"""JSON serialization for regions and plans.
+
+Regions round-trip exactly. Plans serialize to an audit-friendly summary
+(provisioning per duct, amplifier sites, cut-throughs, costs) — the planner
+is deterministic, so a plan is always recoverable from its region.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.plan import IrisPlan
+from repro.exceptions import ReproError
+from repro.region.fibermap import (
+    FiberMap,
+    NodeKind,
+    OperationalConstraints,
+    RegionSpec,
+)
+
+FORMAT_VERSION = 1
+
+
+def fiber_map_to_dict(fmap: FiberMap) -> dict[str, Any]:
+    """Plain-dict form of a fiber map."""
+    return {
+        "nodes": [
+            {
+                "name": name,
+                "kind": fmap.kind(name).value,
+                "x": fmap.position(name).x,
+                "y": fmap.position(name).y,
+            }
+            for name in fmap.nodes
+        ],
+        "ducts": [
+            {"u": u, "v": v, "length_km": fmap.duct_length(u, v)}
+            for u, v in fmap.ducts
+        ],
+    }
+
+
+def fiber_map_from_dict(data: dict[str, Any]) -> FiberMap:
+    """Inverse of :func:`fiber_map_to_dict`."""
+    fmap = FiberMap()
+    try:
+        for node in data["nodes"]:
+            kind = NodeKind(node["kind"])
+            if kind is NodeKind.DC:
+                fmap.add_dc(node["name"], node["x"], node["y"])
+            else:
+                fmap.add_hut(node["name"], node["x"], node["y"])
+        for duct in data["ducts"]:
+            fmap.add_duct(duct["u"], duct["v"], length_km=duct["length_km"])
+    except (KeyError, ValueError) as exc:
+        raise ReproError(f"malformed fiber map data: {exc}") from exc
+    return fmap
+
+
+def region_to_json(region: RegionSpec, indent: int | None = 2) -> str:
+    """Serialize a region specification to JSON."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "fiber_map": fiber_map_to_dict(region.fiber_map),
+        "dc_fibers": dict(region.dc_fibers),
+        "wavelengths_per_fiber": region.wavelengths_per_fiber,
+        "gbps_per_wavelength": region.gbps_per_wavelength,
+        "constraints": {
+            "sla_fiber_km": region.constraints.sla_fiber_km,
+            "failure_tolerance": region.constraints.failure_tolerance,
+            "require_shortest_path": region.constraints.require_shortest_path,
+            "max_span_km": region.constraints.max_span_km,
+        },
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def region_from_json(text: str) -> RegionSpec:
+    """Inverse of :func:`region_to_json`."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"invalid JSON: {exc}") from exc
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ReproError(f"unsupported format version {version!r}")
+    try:
+        constraints = OperationalConstraints(**data["constraints"])
+        return RegionSpec(
+            fiber_map=fiber_map_from_dict(data["fiber_map"]),
+            dc_fibers=data["dc_fibers"],
+            wavelengths_per_fiber=data["wavelengths_per_fiber"],
+            gbps_per_wavelength=data["gbps_per_wavelength"],
+            constraints=constraints,
+        )
+    except (KeyError, TypeError) as exc:
+        raise ReproError(f"malformed region data: {exc}") from exc
+
+
+def plan_to_dict(plan: IrisPlan) -> dict[str, Any]:
+    """Audit summary of an Iris plan."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "base_capacity": {
+            f"{u}~{v}": cap for (u, v), cap in sorted(plan.topology.edge_capacity.items())
+        },
+        "residual": {
+            f"{u}~{v}": count for (u, v), count in sorted(plan.residual.items())
+        },
+        "amplifier_sites": dict(plan.amplifiers.site_counts),
+        "cut_throughs": [
+            {
+                "via": list(link.via),
+                "fiber_pairs": link.fiber_pairs,
+                "length_km": link.length_km,
+            }
+            for link in plan.cut_throughs
+        ],
+        "scenarios_enumerated": len(plan.topology.scenario_paths),
+        "scenarios_total": plan.topology.scenario_count_total,
+        "total_fiber_pair_spans": plan.total_fiber_pair_spans(),
+    }
+
+
+def plan_to_json(plan: IrisPlan, indent: int | None = 2) -> str:
+    """Serialize a plan summary to JSON."""
+    return json.dumps(plan_to_dict(plan), indent=indent)

@@ -1,0 +1,27 @@
+"""Region-scale flow-level simulation (§6.3, Figs 17-18)."""
+
+from repro.simulation.workloads import WORKLOADS, FlowSizeDistribution
+from repro.simulation.traffic import (
+    TrafficMatrix,
+    heavy_tailed_matrix,
+    perturb_matrix,
+)
+from repro.simulation.flowsim import FlowRecord, FluidSimulator, compute_rates
+from repro.simulation.metrics import percentile, slowdown_summary
+from repro.simulation.scenarios import ScenarioConfig, ScenarioResult, run_comparison
+
+__all__ = [
+    "WORKLOADS",
+    "FlowSizeDistribution",
+    "TrafficMatrix",
+    "heavy_tailed_matrix",
+    "perturb_matrix",
+    "FlowRecord",
+    "FluidSimulator",
+    "compute_rates",
+    "percentile",
+    "slowdown_summary",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "run_comparison",
+]

@@ -1,0 +1,300 @@
+"""Event-driven fluid (flow-level) simulator with max-min fair sharing.
+
+The §6.3 methodology: flows arrive per a traffic process, share the network
+under max-min fairness subject to three constraint families — per-DC egress,
+per-DC ingress, and (for Iris) per-pair circuit capacity — and finish when
+their bytes drain. Circuit reconfigurations appear as timed capacity
+updates; a reconfiguring pair runs at the capacity of its surviving fibers
+for the switch duration.
+
+Flows within a DC pair always share the same constraints, so the simulator
+tracks per-pair aggregates: each pair has a cumulative per-flow work counter
+``W`` (bits served to every flow of that pair so far); a flow arriving when
+the counter is ``W0`` completes when ``W`` reaches ``W0 + size``. This makes
+events O(pairs) instead of O(flows).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.exceptions import SimulationError
+
+Pair = tuple[str, str]
+
+INF = math.inf
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One finished (or unfinished) flow."""
+
+    src: str
+    dst: str
+    size_bits: int
+    t_arrive: float
+    t_finish: float  # inf if unfinished at simulation end
+
+    @property
+    def fct(self) -> float:
+        """Flow completion time in seconds."""
+        return self.t_finish - self.t_arrive
+
+    @property
+    def finished(self) -> bool:
+        """Whether the flow completed before the simulation ended."""
+        return math.isfinite(self.t_finish)
+
+    @property
+    def size_bytes(self) -> float:
+        """Flow size in bytes."""
+        return self.size_bits / 8.0
+
+
+def compute_rates(
+    flow_counts: Mapping[Pair, int],
+    egress_bps: Mapping[str, float],
+    ingress_bps: Mapping[str, float],
+    pair_caps_bps: Mapping[Pair, float] | None = None,
+    flow_cap_bps: float = INF,
+) -> dict[Pair, float]:
+    """Max-min fair per-flow rate for each active pair (water-filling).
+
+    Constraints: sum of flow rates leaving a DC <= its egress capacity,
+    entering <= ingress, (when given) each pair's aggregate <= its circuit
+    capacity, and each flow <= ``flow_cap_bps`` (the sending server's
+    limit). Pairs are bidirectional aggregates here: a pair's flows count
+    against both endpoints, matching the paper's symmetric hose accounting.
+    """
+    active = {p: n for p, n in flow_counts.items() if n > 0}
+    if not active:
+        return {}
+
+    # Build constraints: (remaining capacity, member pairs).
+    constraints: list[list] = []  # [remaining, {pair}, key]
+    for dc, cap in egress_bps.items():
+        members = {p for p in active if p[0] == dc or p[1] == dc}
+        if members and cap != INF:
+            constraints.append([float(cap), members, ("dc-egress", dc)])
+    for dc, cap in ingress_bps.items():
+        members = {p for p in active if p[0] == dc or p[1] == dc}
+        if members and cap != INF:
+            constraints.append([float(cap), members, ("dc-ingress", dc)])
+    for pair, count in active.items():
+        cap = INF
+        if pair_caps_bps is not None:
+            cap = pair_caps_bps.get(pair, INF)
+        if flow_cap_bps != INF:
+            # A per-flow cap is a pair constraint of count * cap, since all
+            # of a pair's flows share one max-min rate.
+            cap = min(cap, flow_cap_bps * count)
+        if cap != INF:
+            constraints.append([float(cap), {pair}, ("pair", pair)])
+
+    rates: dict[Pair, float] = {}
+    unfixed = set(active)
+    guard = 0
+    while unfixed:
+        guard += 1
+        if guard > len(active) + len(constraints) + 2:
+            raise SimulationError("water-filling did not converge")
+        best_share = INF
+        best_constraint = None
+        for constraint in constraints:
+            remaining, members, _ = constraint
+            live = members & unfixed
+            if not live:
+                continue
+            flows = sum(active[p] for p in live)
+            share = max(remaining, 0.0) / flows
+            if share < best_share - 1e-15:
+                best_share = share
+                best_constraint = constraint
+        if best_constraint is None:
+            # No finite constraint touches the remaining pairs.
+            for pair in unfixed:
+                rates[pair] = INF
+            break
+        _, members, _ = best_constraint
+        newly_fixed = members & unfixed
+        for pair in newly_fixed:
+            rates[pair] = best_share
+        for constraint in constraints:
+            live = constraint[1] & newly_fixed
+            if live:
+                constraint[0] -= best_share * sum(active[p] for p in live)
+        unfixed -= newly_fixed
+    return rates
+
+
+@dataclass
+class _PairState:
+    """Aggregate state of one DC pair's active flows."""
+
+    work: float = 0.0  # cumulative per-flow bits served
+    rate: float = 0.0  # current per-flow rate (bps)
+    # Heap of (completion threshold, arrival time, size) per active flow.
+    thresholds: list[tuple[float, float, int]] = None
+
+    def __post_init__(self) -> None:
+        if self.thresholds is None:
+            self.thresholds = []
+
+    @property
+    def count(self) -> int:
+        """Active flows of this pair."""
+        return len(self.thresholds)
+
+    def time_to_next_completion(self) -> float:
+        """Seconds until this pair's earliest flow drains at current rate."""
+        if not self.thresholds or self.rate <= 0:
+            return INF
+        needed = self.thresholds[0][0] - self.work
+        return max(needed, 0.0) / self.rate
+
+
+class FluidSimulator:
+    """Run a flow trace over the constrained fluid network.
+
+    ``flows``: (t_arrive, src, dst, size_bits), sorted by arrival time.
+    ``pair_caps_bps``: initial per-pair circuit capacities, or ``None`` for
+    an unconstrained (EPS-style) fabric.
+    ``capacity_events``: [(time, {pair: capacity_bps})] updates, sorted.
+    """
+
+    def __init__(
+        self,
+        egress_bps: Mapping[str, float],
+        ingress_bps: Mapping[str, float] | None = None,
+        pair_caps_bps: Mapping[Pair, float] | None = None,
+        capacity_events: Sequence[tuple[float, Mapping[Pair, float]]] = (),
+        flow_cap_bps: float = INF,
+    ) -> None:
+        self.egress = dict(egress_bps)
+        self.ingress = dict(ingress_bps) if ingress_bps is not None else dict(egress_bps)
+        self.pair_caps = dict(pair_caps_bps) if pair_caps_bps is not None else None
+        self.flow_cap_bps = flow_cap_bps
+        self.capacity_events = sorted(capacity_events, key=lambda e: e[0])
+        for t, _ in self.capacity_events:
+            if t < 0:
+                raise SimulationError("capacity events must have t >= 0")
+
+    def run(
+        self,
+        flows: Iterable[tuple[float, str, str, int]],
+        end_time: float | None = None,
+    ) -> list[FlowRecord]:
+        """Simulate the flow trace; returns one record per flow (records
+        with infinite ``t_finish`` were still in flight at the end)."""
+        arrivals = sorted(flows, key=lambda f: f[0])
+        for t, src, dst, size in arrivals:
+            if size <= 0:
+                raise SimulationError("flow sizes must be positive bits")
+            if src == dst:
+                raise SimulationError("flows must cross DCs")
+
+        records: list[FlowRecord] = []
+        pairs: dict[Pair, _PairState] = {}
+        cap_events = list(self.capacity_events)
+
+        t = 0.0
+        ai = 0  # next arrival index
+        ci = 0  # next capacity event index
+        rates_dirty = True
+
+        def recompute() -> None:
+            counts = {p: s.count for p, s in pairs.items()}
+            rates = compute_rates(
+                counts,
+                self.egress,
+                self.ingress,
+                self.pair_caps,
+                self.flow_cap_bps,
+            )
+            for p, s in pairs.items():
+                # Clamp genuinely unconstrained flows to a huge finite rate:
+                # an infinite rate over a zero-length step is NaN work.
+                s.rate = min(rates.get(p, 0.0), 1e18)
+
+        while True:
+            if rates_dirty:
+                recompute()
+                rates_dirty = False
+
+            t_arrival = arrivals[ai][0] if ai < len(arrivals) else INF
+            t_capacity = cap_events[ci][0] if ci < len(cap_events) else INF
+            t_completion = INF
+            for state in pairs.values():
+                t_completion = min(
+                    t_completion, t + state.time_to_next_completion()
+                )
+            t_next = min(t_arrival, t_capacity, t_completion)
+            if t_next == INF:
+                break  # remaining flows (if any) are stuck with no events
+            if end_time is not None and t_next > end_time:
+                break
+
+            # Advance served work to t_next.
+            dt = t_next - t
+            if dt > 0:
+                for state in pairs.values():
+                    if state.thresholds and state.rate > 0:
+                        state.work += state.rate * dt
+            t = t_next
+
+            # Completions first; tolerance is relative to the work counter
+            # so float rounding at large counters cannot strand a flow.
+            for pair, state in pairs.items():
+                tol = 1e-9 * max(1.0, state.work)
+                while state.thresholds and state.thresholds[0][0] <= state.work + tol:
+                    _, t_arr, size = heapq.heappop(state.thresholds)
+                    records.append(
+                        FlowRecord(
+                            src=pair[0],
+                            dst=pair[1],
+                            size_bits=size,
+                            t_arrive=t_arr,
+                            t_finish=t,
+                        )
+                    )
+                    rates_dirty = True
+
+            # Arrivals at this instant.
+            while ai < len(arrivals) and arrivals[ai][0] <= t + 1e-12:
+                t_arr, src, dst, size = arrivals[ai]
+                pair = (src, dst) if src <= dst else (dst, src)
+                state = pairs.setdefault(pair, _PairState())
+                heapq.heappush(
+                    state.thresholds, (state.work + size, t_arr, size)
+                )
+                ai += 1
+                rates_dirty = True
+
+            # Capacity updates at this instant.
+            while ci < len(cap_events) and cap_events[ci][0] <= t + 1e-12:
+                _, updates = cap_events[ci]
+                if self.pair_caps is None:
+                    raise SimulationError(
+                        "capacity events need pair-constrained mode"
+                    )
+                self.pair_caps.update(updates)
+                ci += 1
+                rates_dirty = True
+
+        # Unfinished flows at simulation end.
+        for pair, state in pairs.items():
+            for threshold, t_arr, size in state.thresholds:
+                records.append(
+                    FlowRecord(
+                        src=pair[0],
+                        dst=pair[1],
+                        size_bits=size,
+                        t_arrive=t_arr,
+                        t_finish=INF,
+                    )
+                )
+        records.sort(key=lambda r: (r.t_arrive, r.t_finish))
+        return records

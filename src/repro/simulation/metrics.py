@@ -1,0 +1,90 @@
+"""FCT statistics and the Fig 17/18 slowdown summaries."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exceptions import SimulationError
+from repro.simulation.flowsim import FlowRecord
+from repro.simulation.workloads import SHORT_FLOW_BYTES
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (0-100) with linear interpolation."""
+    if not values:
+        raise SimulationError("percentile of empty data")
+    if not (0.0 <= q <= 100.0):
+        raise SimulationError("percentile must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def finished_fcts(
+    records: Sequence[FlowRecord], short_only: bool = False
+) -> list[float]:
+    """FCTs of finished flows, optionally restricted to short flows."""
+    return [
+        r.fct
+        for r in records
+        if r.finished
+        and (not short_only or r.size_bytes <= SHORT_FLOW_BYTES)
+    ]
+
+
+@dataclass(frozen=True)
+class SlowdownSummary:
+    """Iris-vs-EPS FCT comparison at the paper's reporting points."""
+
+    p99_all: float
+    p99_short: float
+    p50_all: float
+    iris_flows: int
+    eps_flows: int
+    iris_unfinished: int
+    eps_unfinished: int
+
+    @property
+    def negligible(self) -> bool:
+        """The paper's success criterion: <2% slowdown at the 99th pct."""
+        return self.p99_all <= 1.02 and self.p99_short <= 1.02
+
+
+def slowdown_summary(
+    iris_records: Sequence[FlowRecord],
+    eps_records: Sequence[FlowRecord],
+) -> SlowdownSummary:
+    """99th/50th-percentile FCT ratios (Iris / EPS baseline)."""
+    iris_all = finished_fcts(iris_records)
+    eps_all = finished_fcts(eps_records)
+    if not iris_all or not eps_all:
+        raise SimulationError("need finished flows on both fabrics")
+    iris_short = finished_fcts(iris_records, short_only=True)
+    eps_short = finished_fcts(eps_records, short_only=True)
+
+    def ratio(a: list[float], b: list[float], q: float) -> float:
+        if not a or not b:
+            return float("nan")
+        denom = percentile(b, q)
+        if denom <= 0:
+            return float("inf")
+        return percentile(a, q) / denom
+
+    return SlowdownSummary(
+        p99_all=ratio(iris_all, eps_all, 99.0),
+        p99_short=ratio(iris_short, eps_short, 99.0),
+        p50_all=ratio(iris_all, eps_all, 50.0),
+        iris_flows=len(iris_all),
+        eps_flows=len(eps_all),
+        iris_unfinished=sum(1 for r in iris_records if not r.finished),
+        eps_unfinished=sum(1 for r in eps_records if not r.finished),
+    )

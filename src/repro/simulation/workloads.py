@@ -1,0 +1,155 @@
+"""Empirical flow-size distributions (§6.3, Fig 18).
+
+The paper stresses Iris with intra-DC-style workloads dominated by short
+flows: ``web1`` is the pFabric web-search distribution [4]; ``web2``,
+``hadoop``, and ``cache`` are from Facebook's datacenter study [41]. The
+published CDFs are approximated piecewise-linearly (log-size interpolation);
+the shapes — medians well under 100 KB with multi-megabyte tails — are what
+matters for the reconfiguration stress test.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from dataclasses import dataclass
+
+from repro.exceptions import SimulationError
+
+#: Flows below this are "short flows" in the paper's slowdown plots.
+SHORT_FLOW_BYTES = 50_000
+
+
+@dataclass(frozen=True)
+class FlowSizeDistribution:
+    """A piecewise-linear CDF over flow sizes in bytes.
+
+    ``points`` are (size_bytes, cdf) knots with cdf non-decreasing from 0
+    to 1. Sampling interpolates linearly in log(size) between knots, which
+    matches how such CDFs are drawn and keeps heavy tails heavy.
+    """
+
+    name: str
+    points: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 2:
+            raise SimulationError("distribution needs at least two knots")
+        sizes = [s for s, _ in self.points]
+        cdfs = [c for _, c in self.points]
+        if any(s <= 0 for s in sizes):
+            raise SimulationError("sizes must be positive")
+        if sizes != sorted(sizes) or cdfs != sorted(cdfs):
+            raise SimulationError("knots must be non-decreasing")
+        if abs(cdfs[0]) > 1e-9 or abs(cdfs[-1] - 1.0) > 1e-9:
+            raise SimulationError("CDF must run from 0 to 1")
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one flow size in bytes (inverse-transform sampling)."""
+        u = rng.random()
+        cdfs = [c for _, c in self.points]
+        i = bisect.bisect_right(cdfs, u)
+        if i == 0:
+            return int(self.points[0][0])
+        if i >= len(self.points):
+            return int(self.points[-1][0])
+        (s0, c0), (s1, c1) = self.points[i - 1], self.points[i]
+        if c1 == c0:
+            return int(s0)
+        frac = (u - c0) / (c1 - c0)
+        log_size = math.log(s0) + frac * (math.log(s1) - math.log(s0))
+        return max(1, int(round(math.exp(log_size))))
+
+    def mean_bytes(self) -> float:
+        """Mean flow size under log-linear interpolation (log-mean of each
+        segment weighted by its probability mass — adequate for calibrating
+        offered load)."""
+        total = 0.0
+        for (s0, c0), (s1, c1) in zip(self.points, self.points[1:]):
+            mass = c1 - c0
+            if mass <= 0:
+                continue
+            total += mass * math.exp((math.log(s0) + math.log(s1)) / 2.0)
+        return total
+
+    def short_flow_fraction(self, threshold: int = SHORT_FLOW_BYTES) -> float:
+        """CDF value at the short-flow threshold (linear interpolation)."""
+        sizes = [s for s, _ in self.points]
+        i = bisect.bisect_right(sizes, threshold)
+        if i == 0:
+            return 0.0
+        if i >= len(self.points):
+            return 1.0
+        (s0, c0), (s1, c1) = self.points[i - 1], self.points[i]
+        frac = (math.log(threshold) - math.log(s0)) / (math.log(s1) - math.log(s0))
+        return c0 + frac * (c1 - c0)
+
+
+#: pFabric web search [4]: ~30% mice, very heavy tail to 30 MB.
+WEB1 = FlowSizeDistribution(
+    name="web1",
+    points=(
+        (1_000, 0.0),
+        (6_000, 0.15),
+        (13_000, 0.30),
+        (19_000, 0.45),
+        (33_000, 0.53),
+        (53_000, 0.60),
+        (133_000, 0.70),
+        (667_000, 0.80),
+        (1_333_000, 0.90),
+        (6_667_000, 0.95),
+        (30_000_000, 1.0),
+    ),
+)
+
+#: Facebook web servers [41]: dominated by sub-KB requests.
+WEB2 = FlowSizeDistribution(
+    name="web2",
+    points=(
+        (70, 0.0),
+        (300, 0.30),
+        (1_000, 0.55),
+        (3_000, 0.70),
+        (10_000, 0.83),
+        (30_000, 0.90),
+        (100_000, 0.95),
+        (1_000_000, 0.99),
+        (10_000_000, 1.0),
+    ),
+)
+
+#: Facebook Hadoop [41]: small control messages plus bulk shuffles.
+HADOOP = FlowSizeDistribution(
+    name="hadoop",
+    points=(
+        (100, 0.0),
+        (300, 0.35),
+        (1_000, 0.50),
+        (3_000, 0.65),
+        (10_000, 0.80),
+        (100_000, 0.92),
+        (1_000_000, 0.96),
+        (10_000_000, 0.99),
+        (300_000_000, 1.0),
+    ),
+)
+
+#: Facebook cache followers [41].
+CACHE = FlowSizeDistribution(
+    name="cache",
+    points=(
+        (50, 0.0),
+        (100, 0.10),
+        (1_000, 0.50),
+        (10_000, 0.85),
+        (100_000, 0.95),
+        (1_000_000, 0.99),
+        (10_000_000, 1.0),
+    ),
+)
+
+WORKLOADS: dict[str, FlowSizeDistribution] = {
+    d.name: d for d in (WEB1, WEB2, HADOOP, CACHE)
+}

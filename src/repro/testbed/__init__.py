@@ -1,0 +1,23 @@
+"""Emulation of the paper's optical testbed (§6.2, Figs 13-14)."""
+
+from repro.testbed.emulator import (
+    IrisTestbed,
+    ReceiverReading,
+    TestbedConfig,
+    SpoolConfiguration,
+)
+from repro.testbed.experiments import (
+    BerSample,
+    ExperimentSummary,
+    run_reconfiguration_experiment,
+)
+
+__all__ = [
+    "IrisTestbed",
+    "ReceiverReading",
+    "TestbedConfig",
+    "SpoolConfiguration",
+    "BerSample",
+    "ExperimentSummary",
+    "run_reconfiguration_experiment",
+]

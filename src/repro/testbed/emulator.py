@@ -1,0 +1,189 @@
+"""The Fig 13(b) testbed, emulated end to end.
+
+One sending DC (DC1) feeds two fibers, each carrying live DP-16QAM channels
+plus ASE channel emulation, over fiber spools into a hut, where an OSS
+switches each onto a second spool toward DC2 and DC3. A loopback amplifier
+at the hut serves whichever path needs it. The experiment periodically swaps
+which input spool connects to which output spool:
+
+* configuration A: paths (60 km, 60 km) to DC2 and (20 km, 10 km) to DC3;
+* configuration B: paths (20 km, 60 km) to DC2 and (60 km, 10 km) to DC3.
+
+Paths whose input spool is the long one engage the hut amplifier, so over
+time both receivers interchangeably use it — exercising fixed-gain operation
+with per-port power limiting (TC3) across changing span lengths.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.control.devices import SpaceSwitchDevice
+from repro.exceptions import ReproError
+from repro.optics.budget import evaluate_chain
+from repro.optics.ber import post_fec_ber, prefec_ber_from_osnr_db
+from repro.optics.components import (
+    Amplifier,
+    FiberSpan,
+    OpticalSpaceSwitch,
+    PowerLimiter,
+    Transceiver,
+    WavelengthSelectiveSwitch,
+)
+from repro.optics.spectrum import ChannelPlan, SpectrumLoad
+from repro.units import SIGNAL_RECOVERY_TIME_S, TWO_HUT_SWITCH_TIME_S
+
+
+class SpoolConfiguration(enum.Enum):
+    """The two spool pairings the experiment alternates between."""
+
+    A = "A"  # DC2: 60-60 (amplified), DC3: 20-10
+    B = "B"  # DC2: 20-60, DC3: 60-10 (amplified)
+
+    def spans_km(self, receiver: str) -> tuple[float, float]:
+        """(first spool, second spool) lengths toward ``receiver``."""
+        table = {
+            (SpoolConfiguration.A, "DC2"): (60.0, 60.0),
+            (SpoolConfiguration.A, "DC3"): (20.0, 10.0),
+            (SpoolConfiguration.B, "DC2"): (20.0, 60.0),
+            (SpoolConfiguration.B, "DC3"): (60.0, 10.0),
+        }
+        try:
+            return table[(self, receiver)]
+        except KeyError:
+            raise ReproError(f"unknown receiver {receiver!r}") from None
+
+    def other(self) -> "SpoolConfiguration":
+        """The configuration the periodic swap switches to."""
+        return (
+            SpoolConfiguration.B
+            if self is SpoolConfiguration.A
+            else SpoolConfiguration.A
+        )
+
+
+@dataclass(frozen=True)
+class TestbedConfig:
+    """Tunable parameters of the emulated testbed."""
+
+    wavelengths: int = 40
+    live_channels_per_fiber: int = 2
+    amp_first_span_km: float = 60.0  # input spools this long engage the amp
+    recovery_time_s: float = SIGNAL_RECOVERY_TIME_S
+    two_hut_recovery_s: float = TWO_HUT_SWITCH_TIME_S
+
+
+@dataclass(frozen=True)
+class ReceiverReading:
+    """One receiver's steady-state physical-layer figures."""
+
+    receiver: str
+    osnr_db: float
+    rx_power_dbm: float
+    prefec_ber: float
+    postfec_ber: float
+    amplified: bool
+    span_km: tuple[float, float]
+
+
+class IrisTestbed:
+    """The emulated Fig 13(b) setup."""
+
+    receivers = ("DC2", "DC3")
+
+    def __init__(self, config: TestbedConfig | None = None) -> None:
+        self.config = config or TestbedConfig()
+        self.configuration = SpoolConfiguration.A
+        self.hut_switch = SpaceSwitchDevice("oss:hut")
+        plan = ChannelPlan(count=self.config.wavelengths)
+        live = frozenset(range(self.config.live_channels_per_fiber))
+        self.fiber_loads = {
+            "F1": SpectrumLoad(plan, live),
+            "F2": SpectrumLoad(plan, live),
+        }
+        self._apply_switch_state()
+
+    # -- switching --------------------------------------------------------------
+
+    def _apply_switch_state(self) -> None:
+        self.hut_switch.reset()
+        if self.configuration is SpoolConfiguration.A:
+            self.hut_switch.connect(("in", "F1"), ("out", "DC2"))
+            self.hut_switch.connect(("in", "F2"), ("out", "DC3"))
+        else:
+            self.hut_switch.connect(("in", "F1"), ("out", "DC3"))
+            self.hut_switch.connect(("in", "F2"), ("out", "DC2"))
+
+    def swap(self) -> None:
+        """Reconfigure to the other spool pairing (the periodic swap)."""
+        self.configuration = self.configuration.other()
+        self._apply_switch_state()
+
+    def uses_amplifier(self, receiver: str) -> bool:
+        """Whether this receiver's current path engages the hut amplifier."""
+        first, _ = self.configuration.spans_km(receiver)
+        return first >= self.config.amp_first_span_km
+
+    # -- physical layer ---------------------------------------------------------
+
+    #: Every amplifier sits behind a power limiter set to this input level,
+    #: making received powers uniform across configurations with no online
+    #: gain management (TC3, §5.1).
+    LIMITER_DBM = -18.0
+
+    def _chain(self, receiver: str) -> list:
+        first, second = self.configuration.spans_km(receiver)
+        chain: list = [
+            WavelengthSelectiveSwitch(),  # mux at DC1 (combines ASE fill)
+            PowerLimiter(self.LIMITER_DBM),
+            Amplifier(),  # send-side booster after the mux (Fig 11)
+            OpticalSpaceSwitch(),  # DC1 egress OSS
+            FiberSpan(first),
+            OpticalSpaceSwitch(),  # hut OSS
+        ]
+        if self.uses_amplifier(receiver):
+            # Loopback through the hut OSS: limiter, EDFA, second OSS pass.
+            chain.extend(
+                [PowerLimiter(self.LIMITER_DBM), Amplifier(), OpticalSpaceSwitch()]
+            )
+        chain.extend(
+            [
+                FiberSpan(second),
+                PowerLimiter(self.LIMITER_DBM),
+                Amplifier(),  # receive-side amplification (Fig 11)
+                WavelengthSelectiveSwitch(),  # demux before the receiver
+            ]
+        )
+        return chain
+
+    def reading(self, receiver: str) -> ReceiverReading:
+        """Steady-state OSNR/power/BER at one receiver."""
+        result = evaluate_chain(self._chain(receiver), Transceiver())
+        prefec = prefec_ber_from_osnr_db(result.osnr_db)
+        return ReceiverReading(
+            receiver=receiver,
+            osnr_db=result.osnr_db,
+            rx_power_dbm=result.rx_power_dbm,
+            prefec_ber=prefec,
+            postfec_ber=post_fec_ber(prefec),
+            amplified=self.uses_amplifier(receiver),
+            span_km=self.configuration.spans_km(receiver),
+        )
+
+    def readings(self) -> dict[str, ReceiverReading]:
+        """Steady-state readings at both receivers."""
+        return {r: self.reading(r) for r in self.receivers}
+
+    def power_uniform_across_configurations(self, tolerance_db: float = 3.0) -> bool:
+        """The §6.2 power-management check: received power stays within a
+        narrow window across reconfigurations, with no online gain tweaks."""
+        powers = []
+        original = self.configuration
+        for conf in (SpoolConfiguration.A, SpoolConfiguration.B):
+            self.configuration = conf
+            self._apply_switch_state()
+            powers.extend(r.rx_power_dbm for r in self.readings().values())
+        self.configuration = original
+        self._apply_switch_state()
+        return max(powers) - min(powers) <= tolerance_db

@@ -1,0 +1,160 @@
+"""Physical constants and unit helpers used throughout the package.
+
+All distances are kilometres, powers are dBm (or dB for relative values),
+bandwidths are Gbps, and times are seconds unless a name says otherwise.
+The numbers below come straight from the paper (Figs 8-9, §3.2-§3.3).
+"""
+
+from __future__ import annotations
+
+import math
+
+# --- Speed of light / latency -------------------------------------------------
+
+#: Speed of light in silica fiber, km per second (refractive index ~1.468).
+SPEED_OF_LIGHT_FIBER_KM_S = 204_190.0
+
+#: Industry rule of thumb: fiber distance ~= 2x geographic distance [8, 15].
+GEO_TO_FIBER_FACTOR = 2.0
+
+
+def rtt_ms(fiber_km: float) -> float:
+    """Round-trip propagation latency in milliseconds over ``fiber_km``."""
+    return 2.0 * fiber_km / SPEED_OF_LIGHT_FIBER_KM_S * 1e3
+
+
+def fiber_km_for_rtt_ms(rtt: float) -> float:
+    """Inverse of :func:`rtt_ms`: one-way fiber distance for a target RTT."""
+    return rtt * 1e-3 * SPEED_OF_LIGHT_FIBER_KM_S / 2.0
+
+
+# --- Optical layer (Fig 8, §3.2) ---------------------------------------------
+
+#: Typical regional fiber attenuation, dB per km [20].
+FIBER_LOSS_DB_PER_KM = 0.25
+
+#: Typical EDFA gain, dB.
+AMPLIFIER_GAIN_DB = 20.0
+
+#: EDFA noise figure, dB (measured ~4.5 dB in the paper's testbed).
+AMPLIFIER_NOISE_FIGURE_DB = 4.5
+
+#: Maximum unamplified fiber span: 20 dB gain / 0.25 dB/km = 80 km (TC1).
+MAX_SPAN_KM = AMPLIFIER_GAIN_DB / FIBER_LOSS_DB_PER_KM
+
+#: SLA limit on DC-DC fiber distance (OC1): 120 km [20].
+SLA_MAX_FIBER_KM = 120.0
+
+#: 400ZR tolerable end-to-end OSNR penalty, dB (Fig 8).
+MAX_OSNR_PENALTY_DB = 11.0
+
+#: Margin reserved for transmission impairments and gain ripple, dB (§3.2).
+OSNR_MARGIN_DB = 2.0
+
+#: Resulting amplifier OSNR budget: 9 dB => at most 3 amplifiers (TC2).
+AMPLIFIER_OSNR_BUDGET_DB = MAX_OSNR_PENALTY_DB - OSNR_MARGIN_DB
+
+#: Maximum amplifiers end-to-end implied by the 9 dB budget (Fig 9).
+MAX_AMPLIFIERS_PER_PATH = 3
+
+#: At most one *extra in-line* amplifier per path (beyond the terminal pair).
+MAX_INLINE_AMPLIFIERS = 1
+
+#: Power budget available for reconfiguration elements at 120 km with one
+#: extra amplifier (TC4): 40 dB total minus 30 dB fiber loss.
+RECONFIG_POWER_BUDGET_DB = 10.0
+
+#: Optical space switch insertion loss, dB (TC4).
+OSS_INSERTION_LOSS_DB = 1.5
+
+#: Optical cross-connect insertion loss, dB (TC4).
+OXC_INSERTION_LOSS_DB = 9.0
+
+#: Maximum OSS traversals end-to-end: floor(10 / 1.5) = 6 (TC4).
+MAX_OSS_PER_PATH = int(RECONFIG_POWER_BUDGET_DB // OSS_INSERTION_LOSS_DB)
+
+#: Maximum OXCs end-to-end: 1 (TC4).
+MAX_OXC_PER_PATH = 1
+
+#: Longest duct an all-optical (Iris) path can use. TC1's 80 km applies to
+#: OSS-free point-to-point links; on an Iris path every unamplified run
+#: containing a duct also pays at least two OSS traversals (its endpoints'
+#: switches), so ducts beyond (gain - 2 x OSS loss) / fiber loss = 68 km can
+#: never close the run budget and are pruned from planning outright.
+IRIS_MAX_DUCT_KM = (
+    AMPLIFIER_GAIN_DB - 2 * OSS_INSERTION_LOSS_DB
+) / FIBER_LOSS_DB_PER_KM
+
+#: Minimum received OSNR for DP-16QAM at the SD-FEC pre-FEC threshold
+#: (~19.5 dB from the BER model) plus operating margin, dB (0.1 nm ref).
+RX_OSNR_THRESHOLD_DB = 20.0
+
+#: Transmit launch power per channel, dBm (400ZR class).
+TX_POWER_DBM = -10.0
+
+#: Receiver minimum input power per channel, dBm.
+RX_SENSITIVITY_DBM = -12.0
+
+#: Soft-decision FEC pre-FEC BER threshold (§6.2).
+FEC_BER_THRESHOLD = 2e-2
+
+#: Post-FEC residual BER when operating below the pre-FEC threshold (§6.2).
+POST_FEC_BER = 1e-15
+
+#: Mux/demux (WSS) insertion loss, dB.
+WSS_INSERTION_LOSS_DB = 6.0
+
+# --- Data plane ----------------------------------------------------------------
+
+#: 400ZR line rate per wavelength, Gbps.
+GBPS_PER_WAVELENGTH_400ZR = 400.0
+
+#: Today's deployed equivalent, Gbps [20].
+GBPS_PER_WAVELENGTH_100G = 100.0
+
+#: DWDM wavelengths per fiber in the C-band (paper uses 40-64).
+WAVELENGTHS_PER_FIBER_CHOICES = (40, 64)
+
+#: Reconfiguration constants measured on the testbed (§6.2).
+OSS_SWITCH_TIME_S = 0.020
+SIGNAL_RECOVERY_TIME_S = 0.050
+TWO_HUT_SWITCH_TIME_S = 0.070
+
+
+# --- dB helpers ------------------------------------------------------------------
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a dB ratio to a linear ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear ratio to dB. ``ratio`` must be positive."""
+    if ratio <= 0:
+        raise ValueError(f"dB undefined for non-positive ratio {ratio!r}")
+    return 10.0 * math.log10(ratio)
+
+
+def dbm_to_mw(dbm: float) -> float:
+    """Convert absolute power in dBm to milliwatts."""
+    return 10.0 ** (dbm / 10.0)
+
+
+def mw_to_dbm(mw: float) -> float:
+    """Convert milliwatts to dBm. ``mw`` must be positive."""
+    if mw <= 0:
+        raise ValueError(f"dBm undefined for non-positive power {mw!r}")
+    return 10.0 * math.log10(mw)
+
+
+def fibers_for_gbps(gbps: float, wavelengths: int, gbps_per_wavelength: float) -> int:
+    """Number of fibers needed for ``gbps`` of capacity (B / (C * lambda)).
+
+    Rounds up: capacity that fills a fraction of a fiber still needs the fiber.
+    """
+    if gbps < 0:
+        raise ValueError("capacity must be non-negative")
+    if wavelengths <= 0 or gbps_per_wavelength <= 0:
+        raise ValueError("wavelengths and per-wavelength rate must be positive")
+    return math.ceil(gbps / (wavelengths * gbps_per_wavelength))

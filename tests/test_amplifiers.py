@@ -1,0 +1,110 @@
+"""Algorithm 2: amplifier placement."""
+
+import pytest
+
+from repro.core.amplifiers import place_amplifiers
+from repro.core.failures import Scenario
+from repro.core.topology import plan_topology
+from repro.region.fibermap import (
+    FiberMap,
+    OperationalConstraints,
+    RegionSpec,
+)
+
+
+def line_region(*duct_lengths: float, tolerance: int = 0) -> RegionSpec:
+    """Two DCs joined by a chain of huts with the given duct lengths."""
+    fmap = FiberMap()
+    fmap.add_dc("A", 0, 0)
+    prev = "A"
+    x = 0.0
+    for i, length in enumerate(duct_lengths[:-1]):
+        x += length
+        name = f"M{i}"
+        fmap.add_hut(name, x, 0)
+        fmap.add_duct(prev, name, length_km=length)
+        prev = name
+    fmap.add_dc("B", x + duct_lengths[-1], 0)
+    fmap.add_duct(prev, "B", length_km=duct_lengths[-1])
+    return RegionSpec(
+        fiber_map=fmap,
+        dc_fibers={"A": 4, "B": 4},
+        constraints=OperationalConstraints(failure_tolerance=tolerance),
+    )
+
+
+class TestDistanceDriven:
+    def test_short_path_needs_no_amp(self):
+        region = line_region(30.0, 30.0)
+        topology = plan_topology(region)
+        plan, effective = place_amplifiers(region, topology)
+        assert plan.total_amplifiers == 0
+        assert all(p.amp_node is None for p in effective.values())
+
+    def test_long_path_gets_one_amp(self):
+        region = line_region(55.0, 55.0)
+        topology = plan_topology(region)
+        plan, effective = place_amplifiers(region, topology)
+        assert plan.site_counts == {"M0": 4}  # one amp per worst-case fiber
+        path = effective[(Scenario(), ("A", "B"))]
+        assert path.amp_node == "M0"
+        # The amplified profile now meets every run budget.
+        assert all(run.fits() for run in path.profile().runs())
+
+    def test_amp_site_respects_run_budgets(self):
+        # 60 + 45: an amp at the junction gives runs whose fiber + OSS
+        # losses (18 dB and 14.25 dB) both fit the 20 dB budget.
+        region = line_region(60.0, 45.0)
+        topology = plan_topology(region)
+        plan, effective = place_amplifiers(region, topology)
+        path = effective[(Scenario(), ("A", "B"))]
+        assert path.amp_node == "M0"
+
+    def test_amp_shared_across_paths(self):
+        # Y-shape: A and C both reach B over the same long middle hut.
+        fmap = FiberMap()
+        fmap.add_dc("A", 0, 0)
+        fmap.add_dc("C", 0, 10)
+        fmap.add_hut("M", 50, 5)
+        fmap.add_dc("B", 105, 5)
+        fmap.add_duct("A", "M", length_km=50.0)
+        fmap.add_duct("C", "M", length_km=50.0)
+        fmap.add_duct("M", "B", length_km=55.0)
+        region = RegionSpec(
+            fiber_map=fmap,
+            dc_fibers={"A": 4, "B": 4, "C": 4},
+            constraints=OperationalConstraints(failure_tolerance=0),
+        )
+        topology = plan_topology(region)
+        plan, effective = place_amplifiers(region, topology)
+        # A-B and B-C both amplify at M. The hose worst case lights both
+        # circuits at full rate simultaneously (B can send to C while
+        # receiving from A), so 8 fiber-pairs need amplification at M.
+        assert plan.site_counts == {"M": 8}
+        assert plan.site_for(Scenario(), ("A", "B")) == "M"
+        assert plan.site_for(Scenario(), ("B", "C")) == "M"
+
+
+class TestScenarioCoverage:
+    def test_amps_cover_failure_paths(self):
+        # Square: A - H1 - B short, A - H2 - B long detour used on failure.
+        fmap = FiberMap()
+        fmap.add_dc("A", 0, 0)
+        fmap.add_dc("B", 60, 0)
+        fmap.add_hut("H1", 30, 5)
+        fmap.add_hut("H2", 30, -40)
+        fmap.add_duct("A", "H1", length_km=31.0)
+        fmap.add_duct("H1", "B", length_km=31.0)
+        fmap.add_duct("A", "H2", length_km=50.0)
+        fmap.add_duct("H2", "B", length_km=50.0)
+        region = RegionSpec(
+            fiber_map=fmap,
+            dc_fibers={"A": 4, "B": 4},
+            constraints=OperationalConstraints(failure_tolerance=1),
+        )
+        topology = plan_topology(region)
+        plan, effective = place_amplifiers(region, topology)
+        # The 100 km detour (used when an H1 duct fails) needs an amp at H2.
+        assert plan.site_counts.get("H2") == 4
+        # The base path does not.
+        assert plan.site_for(Scenario(), ("A", "B")) is None

@@ -1,0 +1,81 @@
+"""Region catalog: determinism and ensemble shape."""
+
+import pytest
+
+from repro.exceptions import RegionError
+from repro.region.catalog import fiber_map_ensemble, make_region, region_ensemble
+
+
+class TestFiberMapEnsemble:
+    def test_count_and_determinism(self):
+        a = fiber_map_ensemble(count=3, seed=2020)
+        b = fiber_map_ensemble(count=3, seed=2020)
+        assert len(a) == 3
+        for (ma, ea), (mb, eb) in zip(a, b):
+            assert ea == eb
+            assert ma.ducts == mb.ducts
+            assert [ma.duct_length(u, v) for u, v in ma.ducts] == [
+                mb.duct_length(u, v) for u, v in mb.ducts
+            ]
+
+    def test_different_seeds_differ(self):
+        a = fiber_map_ensemble(count=1, seed=1)[0][0]
+        b = fiber_map_ensemble(count=1, seed=2)[0][0]
+        assert a.ducts != b.ducts or [
+            a.duct_length(u, v) for u, v in a.ducts
+        ] != [b.duct_length(u, v) for u, v in b.ducts]
+
+    def test_maps_have_no_dcs(self):
+        for fmap, _ in fiber_map_ensemble(count=2):
+            assert fmap.dcs == []
+            assert len(fmap.huts) >= 9
+
+    def test_empty_ensemble_rejected(self):
+        with pytest.raises(RegionError):
+            fiber_map_ensemble(count=0)
+
+
+class TestMakeRegion:
+    def test_deterministic(self):
+        a = make_region(map_index=0, n_dcs=4)
+        b = make_region(map_index=0, n_dcs=4)
+        assert a.spec.fiber_map.ducts == b.spec.fiber_map.ducts
+        assert a.hubs == b.hubs
+        assert a.spec.dc_fibers == b.spec.dc_fibers
+
+    def test_parameters_respected(self):
+        instance = make_region(
+            map_index=1,
+            n_dcs=3,
+            dc_fibers=16,
+            wavelengths_per_fiber=64,
+            failure_tolerance=1,
+        )
+        spec = instance.spec
+        assert len(spec.dcs) == 3
+        assert all(spec.fibers(dc) == 16 for dc in spec.dcs)
+        assert spec.wavelengths_per_fiber == 64
+        assert spec.constraints.failure_tolerance == 1
+
+    def test_dcs_within_sla_of_each_other(self):
+        instance = make_region(map_index=2, n_dcs=6)
+        fmap = instance.spec.fiber_map
+        sla = instance.spec.constraints.sla_fiber_km
+        for a, b in instance.spec.iter_pairs():
+            assert fmap.fiber_distance(a, b) <= sla + 1e-6
+
+
+class TestRegionEnsemble:
+    def test_dc_counts_cycle_through_range(self):
+        instances = region_ensemble(count=6, n_dcs_range=(4, 6))
+        counts = [len(i.spec.dcs) for i in instances]
+        assert counts == [4, 5, 6, 4, 5, 6]
+
+    def test_names_unique(self):
+        instances = region_ensemble(count=5, n_dcs_range=(4, 5))
+        names = [i.name for i in instances]
+        assert len(set(names)) == 5
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(RegionError):
+            region_ensemble(count=2, n_dcs_range=(5, 4))

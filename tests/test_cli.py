@@ -1,0 +1,110 @@
+"""CLI integration: every subcommand runs and prints what it promises."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRegionCommand:
+    def test_describe(self, capsys):
+        assert main(["region", "--dcs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "4 DCs" in out
+        assert "Tbps" in out
+
+    def test_export_and_reload(self, tmp_path, capsys):
+        out_file = tmp_path / "region.json"
+        assert main(["region", "--dcs", "4", "--out", str(out_file)]) == 0
+        data = json.loads(out_file.read_text())
+        assert data["format_version"] == 1
+        # Reload through --region-file.
+        capsys.readouterr()
+        assert main(["region", "--region-file", str(out_file)]) == 0
+        assert "4 DCs" in capsys.readouterr().out
+
+
+class TestPlanCommand:
+    def test_plan_and_export(self, tmp_path, capsys):
+        out_file = tmp_path / "plan.json"
+        code = main(
+            ["plan", "--dcs", "4", "--tolerance", "1", "--out", str(out_file)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "base fiber-pairs" in out
+        assert "constraint violations: 0" in out
+        assert json.loads(out_file.read_text())["total_fiber_pair_spans"] > 0
+
+
+class TestCostCommand:
+    def test_cost_table(self, capsys):
+        assert main(["cost", "--dcs", "4", "--tolerance", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "iris" in out and "eps" in out and "hybrid" in out
+        assert "cost ratio" in out
+
+
+class TestPortModelCommand:
+    def test_table(self, capsys):
+        assert main(["portmodel", "--dcs", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "groups" in out
+        assert "optical" in out
+
+
+class TestSweepCommand:
+    def test_limited_sweep(self, capsys):
+        assert main(["sweep", "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "EPS/Iris" in out
+        assert "median" in out
+
+
+class TestSimulateCommand:
+    def test_simulation(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--dcs",
+                "4",
+                "--duration",
+                "4",
+                "--interval",
+                "2",
+                "--utilization",
+                "0.3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "slowdown" in out
+
+
+class TestTestbedCommand:
+    def test_experiment(self, capsys):
+        assert main(["testbed", "--duration", "120", "--period", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "max pre-FEC BER" in out
+        assert "error-free post-FEC: True" in out
+
+
+class TestAnalyzeCommand:
+    def test_analysis_summary(self, capsys):
+        assert main(["analyze", "--regions", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "latency inflation" in out
+        assert "siting-area gain" in out
+
+
+class TestFailoverCommand:
+    def test_drill(self, capsys):
+        code = main(
+            ["failover", "--dcs", "4", "--tolerance", "1", "--map-index", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cutting duct" in out
+        assert "audit: clean" in out
+        assert "restored shortest paths" in out

@@ -1,0 +1,130 @@
+"""TC1-TC4 path constraint checkers and their link-budget consistency."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ConstraintViolation
+from repro.optics.constraints import (
+    PathProfile,
+    amp_fix_candidates,
+    budget_for_profile,
+    check_path,
+    max_oss_traversals,
+    violations,
+)
+
+
+class TestPathProfile:
+    def test_simple_path(self):
+        p = PathProfile((20.0, 30.0))
+        assert p.total_km == 50.0
+        assert p.oss_traversals == 3  # source, one interior, destination
+        assert p.inline_amp_count == 0
+
+    def test_amp_adds_loopback_traversal(self):
+        p = PathProfile((20.0, 30.0), inline_amp_after_span=0)
+        assert p.oss_traversals == 4
+
+    def test_runs_without_amp(self):
+        p = PathProfile((20.0, 30.0, 10.0))
+        runs = p.runs()
+        assert len(runs) == 1
+        assert runs[0].fiber_km == 60.0
+        assert runs[0].oss_traversals == 4
+
+    def test_runs_split_at_amp(self):
+        p = PathProfile((40.0, 30.0, 30.0), inline_amp_after_span=0)
+        first, second = p.runs()
+        assert first.fiber_km == 40.0
+        assert second.fiber_km == 60.0
+        # Traversal conservation: the amp adds exactly one pass.
+        assert first.oss_traversals + second.oss_traversals == p.oss_traversals
+
+    def test_amp_must_be_interior(self):
+        with pytest.raises(ConstraintViolation):
+            PathProfile((20.0, 30.0), inline_amp_after_span=1)
+        with pytest.raises(ConstraintViolation):
+            PathProfile((20.0,), inline_amp_after_span=0)
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ConstraintViolation):
+            PathProfile(())
+
+
+class TestViolations:
+    def test_compliant_short_path(self):
+        assert violations(PathProfile((20.0, 20.0))) == []
+
+    def test_sla_violation(self):
+        p = PathProfile((60.0, 61.0), inline_amp_after_span=0)
+        problems = violations(p)
+        assert any("OC1" in v for v in problems)
+
+    def test_distance_needs_amplifier(self):
+        p = PathProfile((50.0, 45.0))  # 95 km unamplified
+        problems = violations(p)
+        assert any("TC1" in v for v in problems)
+        # An amp after span 0 fixes it.
+        assert violations(p.with_amp_after_span(0)) == []
+
+    def test_six_oss_limit_at_120km(self):
+        # §3.2: 120 km + 1 amp leaves 10 dB => 6 OSSes. Seven switching
+        # points on a 120 km path must violate; six must pass.
+        six_oss = PathProfile((24.0,) * 5, inline_amp_after_span=2)
+        assert six_oss.oss_traversals == max_oss_traversals() + 1
+        seven = PathProfile((20.0,) * 6, inline_amp_after_span=2)
+        assert seven.oss_traversals == 8
+        assert violations(seven)
+
+    def test_hop_overload_without_distance_problem(self):
+        # 70 km of fiber but 5 switching points: 17.5 + 6x1.5 = 26.5 dB > 20.
+        p = PathProfile((14.0,) * 5)
+        problems = violations(p)
+        assert problems
+        assert all("OC1" not in v for v in problems)
+
+    def test_check_path_raises(self):
+        with pytest.raises(ConstraintViolation):
+            check_path(PathProfile((90.0,)))
+
+
+class TestAmpFixCandidates:
+    def test_midpoint_fixes_long_path(self):
+        p = PathProfile((55.0, 55.0))
+        assert amp_fix_candidates(p) == [0]
+
+    def test_no_candidate_for_single_span(self):
+        assert amp_fix_candidates(PathProfile((90.0,))) == []
+
+    def test_existing_amp_yields_nothing(self):
+        p = PathProfile((55.0, 55.0), inline_amp_after_span=0)
+        assert amp_fix_candidates(p) == []
+
+    def test_multiple_candidates_on_balanced_path(self):
+        p = PathProfile((30.0, 30.0, 30.0))
+        assert amp_fix_candidates(p) == [0, 1]
+
+
+class TestBudgetConsistency:
+    @given(
+        spans=st.lists(
+            st.floats(min_value=1.0, max_value=45.0), min_size=1, max_size=5
+        ),
+        amp_seed=st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_compliant_profiles_close_the_link_budget(self, spans, amp_seed):
+        """Any profile the closed-form rules accept must also pass the full
+        link-budget engine's power check."""
+        spans_t = tuple(spans)
+        amp = None
+        if len(spans_t) > 1 and amp_seed % 2 == 0:
+            amp = amp_seed % (len(spans_t) - 1)
+        profile = PathProfile(spans_t, inline_amp_after_span=amp)
+        if violations(profile):
+            return  # only compliant profiles are claimed to close
+        result = budget_for_profile(profile)
+        # The terminal amplifier restores power to within the Rx window.
+        assert result.rx_power_dbm >= -12.0 - 1e-6
+        # And the amplifier count stays within TC2.
+        assert result.amplifier_count <= 2

@@ -1,0 +1,116 @@
+"""Price book and cost estimator (§3.3)."""
+
+import pytest
+
+from repro.cost.estimator import CostBreakdown, Inventory, estimate_cost
+from repro.cost.pricebook import PriceBook
+from repro.exceptions import ReproError
+
+
+class TestPriceBook:
+    def test_paper_relativities(self):
+        pb = PriceBook.default()
+        # A transceiver costs roughly 10x an electrical port.
+        assert pb.transceiver_dci / pb.electrical_port == pytest.approx(10.0)
+        # A fiber-pair span lease is ~3x a transceiver.
+        assert pb.fiber_pair_span / pb.transceiver_dci == pytest.approx(
+            2.77, abs=0.3
+        )
+        # An OSS port is an order of magnitude below a transceiver.
+        assert pb.transceiver_dci / pb.oss_port > 5
+        # OXC ports are slightly above OSS ports.
+        assert pb.oxc_port > pb.oss_port
+
+    def test_sr_variant(self):
+        pb = PriceBook.default().with_sr_priced_dci()
+        assert pb.transceiver_dci == pb.transceiver_sr
+
+    def test_scaled_preserves_ratios(self):
+        pb = PriceBook.default()
+        scaled = pb.scaled(3.0)
+        assert scaled.transceiver_dci == pytest.approx(3 * pb.transceiver_dci)
+        assert (
+            scaled.transceiver_dci / scaled.oss_port
+            == pytest.approx(pb.transceiver_dci / pb.oss_port)
+        )
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ReproError):
+            PriceBook.default().scaled(0)
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ReproError):
+            PriceBook(transceiver_dci=-1)
+
+
+class TestInventory:
+    def test_negative_count_rejected(self):
+        with pytest.raises(ReproError):
+            Inventory(oss_ports=-1)
+
+    def test_port_accounting(self):
+        inv = Inventory(
+            dc_transceivers=100,
+            dc_electrical_ports=100,
+            innetwork_transceivers=300,
+            innetwork_electrical_ports=300,
+            oss_ports=40,
+        )
+        assert inv.dc_ports == 100
+        assert inv.in_network_ports == 640
+        assert inv.total_ports == 840
+
+    def test_combined(self):
+        a = Inventory(oss_ports=10, amplifiers=2)
+        b = Inventory(oss_ports=5, fiber_pair_spans=7)
+        c = a.combined(b)
+        assert c.oss_ports == 15
+        assert c.amplifiers == 2
+        assert c.fiber_pair_spans == 7
+
+
+class TestEstimate:
+    def test_toy_eps_arithmetic(self):
+        # §3.4: T_E = 4800 transceivers, F_E = 60 fiber-pairs.
+        inv = Inventory(
+            dc_transceivers=1600,
+            dc_electrical_ports=1600,
+            innetwork_transceivers=3200,
+            innetwork_electrical_ports=3200,
+            fiber_pair_spans=60,
+        )
+        cost = estimate_cost(inv)
+        assert cost.transceivers == pytest.approx(4800 * 1300)
+        assert cost.fiber == pytest.approx(60 * 3600)
+
+    def test_paper_simplified_ratio(self):
+        # §3.4 footnote: (1300 T_E + 3600 F_E) / (1300 T_O + 3600 F_O) = 2.73.
+        te, fe, to, fo = 4800, 60, 1600, 78
+        ratio = (1300 * te + 3600 * fe) / (1300 * to + 3600 * fo)
+        assert ratio == pytest.approx(2.73, abs=0.01)
+
+    def test_sr_for_innetwork(self):
+        inv = Inventory(innetwork_transceivers=100)
+        normal = estimate_cost(inv)
+        sr = estimate_cost(inv, sr_for_innetwork=True)
+        ratio = PriceBook.default().transceiver_dci / PriceBook.default().transceiver_sr
+        assert sr.transceivers == pytest.approx(normal.transceivers / ratio)
+
+    def test_in_network_total_excludes_dc_cost(self):
+        inv = Inventory(
+            dc_transceivers=10,
+            dc_electrical_ports=10,
+            oss_ports=100,
+        )
+        cost = estimate_cost(inv)
+        pb = PriceBook.default()
+        assert cost.in_network_total == pytest.approx(100 * pb.oss_port)
+        assert cost.dc_cost == pytest.approx(
+            10 * pb.transceiver_dci + 10 * pb.electrical_port
+        )
+
+    def test_dc_oss_excluded_from_headline(self):
+        inv = Inventory(dc_oss_ports=50)
+        cost = estimate_cost(inv)
+        assert cost.total == 0.0
+        assert cost.total_with_dc_oss == pytest.approx(50 * 150)

@@ -1,0 +1,235 @@
+"""Design baselines: port model, EPS, centralized, wavelength, hybrid."""
+
+import pytest
+
+from repro.cost.estimator import estimate_cost
+from repro.cost.pricebook import PriceBook
+from repro.designs.centralized import CentralizedDesign
+from repro.designs.distributed import (
+    balanced_groups,
+    cross_group_pairs,
+    full_mesh_pairs,
+    intra_group_pairs,
+)
+from repro.designs.eps import eps_inventory
+from repro.designs.hybrid import hybridize
+from repro.designs.portmodel import PortModel
+from repro.designs.wavelength import (
+    combinable_residual_fibers,
+    max_worst_case_residual_wavelengths,
+    wavelength_vs_fiber_tradeoff,
+    worst_case_residual_wavelengths,
+)
+from repro.exceptions import ReproError
+
+
+class TestPortModel:
+    def test_centralized_is_2np(self):
+        pm = PortModel(n_dcs=16, ports_per_dc=3)
+        assert pm.point(1).total_ports == 2 * 16 * 3
+
+    def test_total_is_g_plus_1_np(self):
+        pm = PortModel(n_dcs=16)
+        for g in pm.valid_groups():
+            assert pm.point(g).total_ports == (g + 1) * 16
+
+    def test_hub_capacity_independent_of_group_size(self):
+        # §2.4: "each group hub needs to support the same capacity
+        # irrespective of how distributed or centralized the topology is."
+        pm = PortModel(n_dcs=16, ports_per_dc=2)
+        for g in pm.valid_groups():
+            assert pm.point(g).hub_ports == g * 16 * 2
+
+    def test_mesh_roughly_7x_centralized(self):
+        # Fig 7: "the relative cost of supporting a fully meshed
+        # distributed topology is roughly 7x the centralized" (exact
+        # closed form: (N+1)/2 = 8.5 for N=16).
+        ratio = PortModel(n_dcs=16).mesh_vs_centralized_ratio()
+        assert 6.0 <= ratio <= 9.0
+
+    def test_sr_variant_cheaper_than_plain_electrical(self):
+        pm = PortModel(n_dcs=16)
+        for g in pm.valid_groups():
+            point = pm.point(g)
+            assert point.cost_electrical_sr <= point.cost_electrical
+
+    def test_optical_much_cheaper_when_distributed(self):
+        pm = PortModel(n_dcs=16)
+        mesh = pm.point(16)
+        assert mesh.cost_optical < mesh.cost_electrical / 4
+
+    def test_optical_nearly_flat_across_spectrum(self):
+        # Fig 7's third column: optical cost grows far slower than
+        # electrical as the topology distributes.
+        pm = PortModel(n_dcs=16)
+        optical_growth = pm.point(16).cost_optical / pm.point(1).cost_optical
+        electrical_growth = (
+            pm.point(16).cost_electrical / pm.point(1).cost_electrical
+        )
+        assert optical_growth < electrical_growth / 3
+
+    def test_invalid_groups_rejected(self):
+        pm = PortModel(n_dcs=16)
+        with pytest.raises(ReproError):
+            pm.point(3)  # does not divide 16
+        with pytest.raises(ReproError):
+            pm.point(0)
+
+
+class TestGroups:
+    def test_full_mesh_count(self):
+        assert len(full_mesh_pairs([f"D{i}" for i in range(6)])) == 15
+
+    def test_balanced_groups(self):
+        groups = balanced_groups([f"D{i}" for i in range(6)], 3)
+        assert [len(g) for g in groups] == [2, 2, 2]
+
+    def test_uneven_groups_differ_by_at_most_one(self):
+        groups = balanced_groups([f"D{i}" for i in range(7)], 3)
+        sizes = sorted(len(g) for g in groups)
+        assert sizes == [2, 2, 3]
+
+    def test_pair_partition_is_complete(self):
+        dcs = [f"D{i}" for i in range(6)]
+        groups = balanced_groups(dcs, 2)
+        inter = cross_group_pairs(groups)
+        intra = intra_group_pairs(groups)
+        assert sorted(inter + intra) == sorted(full_mesh_pairs(dcs))
+
+    def test_too_many_groups_rejected(self):
+        with pytest.raises(ReproError):
+            balanced_groups(["A"], 2)
+
+
+class TestEps:
+    def test_toy_eps_counts(self, toy_region):
+        from repro.core.topology import plan_topology
+
+        topology = plan_topology(toy_region)
+        inv = eps_inventory(toy_region, topology)
+        # §3.4: T_E = 2 * F_E * lambda = 4800.
+        assert inv.dc_transceivers + inv.innetwork_transceivers == 4800
+        assert inv.dc_transceivers == 1600
+        assert inv.fiber_pair_spans == 60
+
+    def test_toy_cost_ratio_matches_paper(self, toy_region):
+        """§3.4: 'the electrical design costs 2.7x more than the optical'."""
+        from repro.core.planner import plan_region
+        from repro.core.topology import plan_topology
+
+        plan = plan_region(toy_region)
+        iris = estimate_cost(plan.inventory())
+        eps = estimate_cost(eps_inventory(toy_region, plan.topology))
+        ratio = eps.total / iris.total
+        assert ratio == pytest.approx(2.7, abs=0.45)
+
+    def test_toy_fiber_and_transceiver_only_ratio(self, toy_region):
+        """The §3.4 footnote recomputes the ratio from fiber+transceivers
+        only and lands at 2.73; our residual differs by 2 fiber-pairs on
+        the trunk (76 vs 78), giving 2.74."""
+        from repro.core.planner import plan_region
+
+        plan = plan_region(toy_region)
+        prices = PriceBook.default()
+        t_e, f_e = 4800, 60
+        t_o = plan.inventory().dc_transceivers
+        f_o = plan.total_fiber_pair_spans()
+        assert (t_o, f_o) == (1600, 76)
+        ratio = (prices.transceiver_dci * t_e + prices.fiber_pair_span * f_e) / (
+            prices.transceiver_dci * t_o + prices.fiber_pair_span * f_o
+        )
+        assert ratio == pytest.approx(2.74, abs=0.02)
+
+
+class TestCentralized:
+    def test_latency_via_hub(self, toy_region):
+        design = CentralizedDesign(toy_region, hubs=("H1",))
+        # DC1-DC3 via H1: 10 + (20 + 10) = 40 km (equals the direct route).
+        assert design.pair_distance_km("DC1", "DC3") == pytest.approx(40.0)
+        # DC3-DC4 via the far hub H1: (20 + 10) * 2 = 60 km vs 20 direct.
+        assert design.pair_distance_km("DC3", "DC4") == pytest.approx(60.0)
+
+    def test_two_hubs_take_the_better(self, toy_region):
+        design = CentralizedDesign(toy_region, hubs=("H1", "H2"))
+        assert design.pair_distance_km("DC3", "DC4") == pytest.approx(20.0)
+
+    def test_meets_sla(self, toy_region):
+        assert CentralizedDesign(toy_region, hubs=("H1", "H2")).meets_sla()
+
+    def test_inventory_single_hub_matches_port_model(self, toy_region):
+        # §2.4: centralized => 2 N P ports total.
+        inv = CentralizedDesign(toy_region, hubs=("H1",)).inventory()
+        n_p = sum(toy_region.transceivers(dc) for dc in toy_region.dcs)
+        assert inv.dc_transceivers + inv.innetwork_transceivers == 2 * n_p
+
+    def test_redundant_doubles_spokes(self, toy_region):
+        design = CentralizedDesign(toy_region, hubs=("H1", "H2"))
+        single = design.inventory(redundant=False)
+        double = design.inventory(redundant=True)
+        assert double.dc_transceivers == 2 * single.dc_transceivers
+
+    def test_bad_hub_count_rejected(self, toy_region):
+        with pytest.raises(Exception):
+            CentralizedDesign(toy_region, hubs=())
+        with pytest.raises(Exception):
+            CentralizedDesign(toy_region, hubs=("H1", "H2", "H1"))
+
+
+class TestWavelength:
+    def test_worst_case_peak(self):
+        # Appendix B: maximum residual is lambda * n / 4 at D = lambda*n/2.
+        n, lam = 8, 40
+        peak = max_worst_case_residual_wavelengths(n, lam)
+        assert peak == pytest.approx(lam * n / 4)
+        at_half = worst_case_residual_wavelengths(lam * n / 2, n, lam)
+        assert at_half == pytest.approx(peak)
+        # Any other demand is below the peak.
+        for d in (0, lam, lam * n / 4, lam * n * 0.9, lam * n):
+            assert worst_case_residual_wavelengths(d, n, lam) <= peak + 1e-9
+
+    def test_combinable_is_ceil_n_over_4(self):
+        assert combinable_residual_fibers(1) == 1
+        assert combinable_residual_fibers(4) == 1
+        assert combinable_residual_fibers(5) == 2
+        assert combinable_residual_fibers(19) == 5
+
+    def test_fiber_switching_wins_at_paper_prices(self, small_plan):
+        tradeoff = wavelength_vs_fiber_tradeoff(small_plan)
+        assert tradeoff.fiber_switching_wins
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ReproError):
+            worst_case_residual_wavelengths(-1, 4, 40)
+        with pytest.raises(ReproError):
+            combinable_residual_fibers(-1)
+
+
+class TestHybrid:
+    def test_hybrid_reduces_residual_fiber(self, small_plan):
+        hybrid = hybridize(small_plan)
+        assert hybrid.residual_spans_saved > 0
+        assert 0.0 < hybrid.residual_reduction <= 1.0
+
+    def test_each_pair_merges_at_most_once(self, small_plan):
+        hybrid = hybridize(small_plan)
+        seen = set()
+        for merge in hybrid.merges:
+            for pair in merge.pairs:
+                assert pair not in seen  # one wavelength device per path
+                seen.add(pair)
+
+    def test_merge_respects_max_combine(self, small_plan):
+        hybrid = hybridize(small_plan, max_combine=4)
+        assert all(len(m.pairs) <= 4 for m in hybrid.merges)
+
+    def test_hybrid_inventory_never_more_fiber(self, small_plan):
+        base = small_plan.inventory()
+        hybrid = hybridize(small_plan).inventory()
+        assert hybrid.fiber_pair_spans <= base.fiber_pair_spans
+        assert hybrid.oxc_ports > 0
+
+    def test_hybrid_cost_close_to_iris(self, small_plan):
+        # Fig 12(a): "virtually identical costs" of Iris and hybrid.
+        iris = estimate_cost(small_plan.inventory()).total
+        hybrid = estimate_cost(hybridize(small_plan).inventory()).total
+        assert hybrid == pytest.approx(iris, rel=0.15)

@@ -1,0 +1,137 @@
+"""Edge cases across modules that the mainline tests don't reach."""
+
+import pytest
+
+from repro.exceptions import (
+    ConstraintViolation,
+    ControlPlaneError,
+    InfeasibleRegionError,
+    ReproError,
+)
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        import repro.exceptions as exc
+
+        for name in (
+            "RegionError",
+            "InfeasibleRegionError",
+            "PlanningError",
+            "ConstraintViolation",
+            "DeviceError",
+            "ControlPlaneError",
+            "SimulationError",
+        ):
+            assert issubclass(getattr(exc, name), ReproError)
+
+    def test_infeasible_carries_context(self):
+        e = InfeasibleRegionError("nope", scenario={("A", "B")}, pair=("X", "Y"))
+        assert e.scenario == {("A", "B")}
+        assert e.pair == ("X", "Y")
+
+    def test_constraint_violation_carries_path(self):
+        e = ConstraintViolation("bad", constraint="TC1", path="p")
+        assert e.constraint == "TC1"
+        assert e.path == "p"
+
+
+class TestBudgetCloses:
+    def test_closes_reflects_thresholds(self):
+        from repro.optics.budget import path_budget
+        from repro.optics.components import Transceiver
+
+        good = path_budget([30.0, 30.0])
+        assert good.closes(Transceiver())
+        # A receiver demanding absurd OSNR refuses the same link.
+        fussy = Transceiver(rx_osnr_threshold_db=60.0)
+        assert not good.closes(fussy)
+
+
+class TestChooseHubs:
+    def test_no_pair_in_band_raises(self, toy_map):
+        from repro.exceptions import RegionError
+        from repro.region.placement import choose_hubs
+
+        with pytest.raises(RegionError, match="separation"):
+            choose_hubs(toy_map, separation_km=(100.0, 200.0))
+
+    def test_band_validation(self, toy_map):
+        from repro.exceptions import RegionError
+        from repro.region.placement import choose_hubs
+
+        with pytest.raises(RegionError):
+            choose_hubs(toy_map, separation_km=(5.0, 1.0))
+
+    def test_picks_central_pair(self, toy_map):
+        from repro.region.placement import choose_hubs
+
+        hubs = choose_hubs(toy_map, separation_km=(10.0, 30.0))
+        assert set(hubs) == {"H1", "H2"}
+
+
+class TestEmptyPacking:
+    def test_no_demands_is_empty_assignment(self):
+        from repro.control.wavelengths import pack_transceivers
+
+        a = pack_transceivers({}, {}, 40, 400)
+        assert a.slots == {}
+        assert a.transceivers_toward("anything") == []
+
+
+class TestWavelengthsForDefault:
+    def test_without_wavelength_info_assumes_full_fibers(self):
+        from repro.control.controller import CircuitTarget
+
+        target = CircuitTarget(fibers={("A", "B"): 2})
+        assert target.wavelengths_for(("A", "B"), 40) == 80
+        assert target.wavelengths_for(("A", "C"), 40) == 0
+
+    def test_with_wavelength_info_caps_at_fibers(self):
+        from repro.control.controller import CircuitTarget
+
+        target = CircuitTarget(
+            fibers={("A", "B"): 1}, wavelengths={("A", "B"): 99}
+        )
+        assert target.wavelengths_for(("A", "B"), 40) == 40
+
+
+class TestFaultInjectorValidation:
+    def test_rate_bounds(self):
+        from repro.control.devices import FaultInjector
+        from repro.exceptions import DeviceError
+
+        with pytest.raises(DeviceError):
+            FaultInjector(failure_rate=1.0)
+        with pytest.raises(DeviceError):
+            FaultInjector(failure_rate=-0.1)
+
+    def test_deterministic_given_seed(self):
+        from repro.control.devices import FaultInjector
+
+        a = FaultInjector(failure_rate=0.5, seed=3)
+        b = FaultInjector(failure_rate=0.5, seed=3)
+        assert [a.should_fail() for _ in range(20)] == [
+            b.should_fail() for _ in range(20)
+        ]
+
+
+class TestRegionSpecIterators:
+    def test_iter_pairs_matches_dc_pairs(self, toy_region):
+        assert list(toy_region.iter_pairs()) == toy_region.fiber_map.dc_pairs()
+
+
+class TestPortModelValidation:
+    def test_rejects_nonpositive(self):
+        from repro.designs.portmodel import PortModel
+        from repro.exceptions import ReproError
+
+        with pytest.raises(ReproError):
+            PortModel(n_dcs=0)
+        with pytest.raises(ReproError):
+            PortModel(n_dcs=4, ports_per_dc=0)
+
+    def test_valid_groups_divide_evenly(self):
+        from repro.designs.portmodel import PortModel
+
+        assert PortModel(n_dcs=12).valid_groups() == [1, 2, 3, 4, 6, 12]

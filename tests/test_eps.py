@@ -1,0 +1,89 @@
+"""EPS realization: segment merging, regeneration, inventory accounting."""
+
+import pytest
+
+from repro.core.topology import plan_topology
+from repro.designs.eps import eps_inventory, eps_segments
+from repro.region.fibermap import (
+    FiberMap,
+    OperationalConstraints,
+    RegionSpec,
+)
+
+from tests.test_amplifiers import line_region
+
+
+class TestSegments:
+    def test_degree_two_huts_spliced_through(self):
+        # A - M0 - M1 - B: one point-to-point link of 3 ducts.
+        region = line_region(20.0, 20.0, 20.0)
+        topology = plan_topology(region)
+        segments = eps_segments(region, topology)
+        assert len(segments) == 1
+        fibers, length, terminations = segments[0]
+        assert fibers == 4
+        assert length == pytest.approx(60.0)
+        assert terminations == 2
+
+    def test_long_chain_regenerated(self):
+        # 3 x 35 km = 105 km: beyond 80 km reach -> 2 pieces, 4 terminations.
+        region = line_region(35.0, 35.0, 35.0)
+        topology = plan_topology(region)
+        ((fibers, length, terminations),) = eps_segments(region, topology)
+        assert length == pytest.approx(105.0)
+        assert terminations == 4
+
+    def test_branch_points_terminate(self, toy_region):
+        topology = plan_topology(toy_region)
+        segments = eps_segments(toy_region, topology)
+        # Hubs have degree 3: every duct is its own segment.
+        assert len(segments) == 5
+        assert all(t == 2 for _, _, t in segments)
+
+    def test_unused_ducts_ignored(self):
+        fmap = FiberMap()
+        fmap.add_dc("A", 0, 0)
+        fmap.add_dc("B", 20, 0)
+        fmap.add_hut("H", 10, 0)
+        fmap.add_hut("LONELY", 10, 30)
+        fmap.add_duct("A", "H", length_km=10)
+        fmap.add_duct("H", "B", length_km=10)
+        fmap.add_duct("H", "LONELY", length_km=30)
+        region = RegionSpec(
+            fiber_map=fmap,
+            dc_fibers={"A": 2, "B": 2},
+            constraints=OperationalConstraints(failure_tolerance=0),
+        )
+        topology = plan_topology(region)
+        segments = eps_segments(region, topology)
+        assert len(segments) == 1  # A-H-B merged; LONELY spur unused
+
+
+class TestInventory:
+    def test_toy_matches_paper(self, toy_region):
+        topology = plan_topology(toy_region)
+        inv = eps_inventory(toy_region, topology)
+        assert inv.dc_transceivers + inv.innetwork_transceivers == 4800
+        assert inv.fiber_pair_spans == 60
+        assert inv.oss_ports == 0
+
+    def test_splicing_cuts_transceivers(self):
+        # One 3-duct chain: per-duct termination would need 3x the
+        # transceivers of the spliced point-to-point build.
+        region = line_region(20.0, 20.0, 20.0)
+        topology = plan_topology(region)
+        inv = eps_inventory(region, topology)
+        lam = region.wavelengths_per_fiber
+        assert inv.dc_transceivers + inv.innetwork_transceivers == 2 * 4 * lam
+        # Fiber is still leased per duct-span.
+        assert inv.fiber_pair_spans == 3 * 4
+
+    def test_regeneration_adds_transceivers(self):
+        short = line_region(20.0, 20.0, 20.0)
+        long = line_region(35.0, 35.0, 35.0)
+        inv_short = eps_inventory(short, plan_topology(short))
+        inv_long = eps_inventory(long, plan_topology(long))
+        assert (
+            inv_long.innetwork_transceivers
+            > inv_short.innetwork_transceivers
+        )

@@ -1,0 +1,57 @@
+"""Flow-level failover transient (OC4 at the application layer)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.failover import FailoverConfig, run_failover
+
+
+class TestFailoverConfig:
+    def test_failure_must_be_mid_run(self):
+        with pytest.raises(SimulationError):
+            FailoverConfig(duration_s=5.0, failure_time_s=6.0)
+        with pytest.raises(SimulationError):
+            FailoverConfig(failure_time_s=0.0)
+
+    def test_affected_fraction_bounds(self):
+        with pytest.raises(SimulationError):
+            FailoverConfig(affected_fraction=0.0)
+
+
+class TestFailoverRun:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_failover(FailoverConfig(duration_s=8.0, seed=3))
+
+    def test_all_flows_eventually_finish(self, result):
+        # The cut is tolerated: capacity returns after one switch time, so
+        # nothing strands.
+        assert result.unfinished == 0
+
+    def test_transient_bounded_by_switch_time_scale(self, result):
+        # No flow loses more than the dark window plus its queue drain —
+        # well under a second at these loads.
+        assert 0.0 <= result.max_extra_fct_s < 1.0
+
+    def test_affected_pairs_hurt_more_than_rest(self, result):
+        assert result.p99_affected_ratio >= result.p99_ratio - 0.05
+
+    def test_overall_p99_barely_moves(self, result):
+        assert result.p99_ratio < 1.5
+        assert not math.isnan(result.p99_affected_ratio)
+
+    def test_deterministic(self):
+        a = run_failover(FailoverConfig(duration_s=6.0, seed=9))
+        b = run_failover(FailoverConfig(duration_s=6.0, seed=9))
+        assert a == b
+
+    def test_longer_dark_time_hurts_more(self):
+        fast = run_failover(
+            FailoverConfig(duration_s=8.0, switch_time_s=0.02, seed=4)
+        )
+        slow = run_failover(
+            FailoverConfig(duration_s=8.0, switch_time_s=0.5, seed=4)
+        )
+        assert slow.max_extra_fct_s >= fast.max_extra_fct_s

@@ -1,0 +1,251 @@
+"""The fluid max-min flow simulator."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import SimulationError
+from repro.simulation.flowsim import FluidSimulator, compute_rates
+from repro.simulation.metrics import percentile
+
+GBPS = 1e9
+
+
+class TestComputeRates:
+    def test_single_flow_gets_bottleneck(self):
+        rates = compute_rates(
+            {("A", "B"): 1}, {"A": 10 * GBPS, "B": 4 * GBPS}, {"A": 10 * GBPS, "B": 4 * GBPS}
+        )
+        assert rates[("A", "B")] == pytest.approx(4 * GBPS)
+
+    def test_flows_share_fairly(self):
+        rates = compute_rates(
+            {("A", "B"): 4}, {"A": 8 * GBPS, "B": 8 * GBPS}, {"A": 8 * GBPS, "B": 8 * GBPS}
+        )
+        assert rates[("A", "B")] == pytest.approx(2 * GBPS)
+
+    def test_pair_cap_binds(self):
+        rates = compute_rates(
+            {("A", "B"): 2},
+            {"A": 8 * GBPS, "B": 8 * GBPS},
+            {"A": 8 * GBPS, "B": 8 * GBPS},
+            pair_caps_bps={("A", "B"): 1 * GBPS},
+        )
+        assert rates[("A", "B")] == pytest.approx(0.5 * GBPS)
+
+    def test_flow_cap_binds(self):
+        rates = compute_rates(
+            {("A", "B"): 2},
+            {"A": 8 * GBPS, "B": 8 * GBPS},
+            {"A": 8 * GBPS, "B": 8 * GBPS},
+            flow_cap_bps=0.25 * GBPS,
+        )
+        assert rates[("A", "B")] == pytest.approx(0.25 * GBPS)
+
+    def test_max_min_redistributes(self):
+        # A-B capped at 1G; A-C takes the freed egress.
+        rates = compute_rates(
+            {("A", "B"): 1, ("A", "C"): 1},
+            {"A": 4 * GBPS, "B": 8 * GBPS, "C": 8 * GBPS},
+            {"A": 4 * GBPS, "B": 8 * GBPS, "C": 8 * GBPS},
+            pair_caps_bps={("A", "B"): 1 * GBPS},
+        )
+        assert rates[("A", "B")] == pytest.approx(1 * GBPS)
+        assert rates[("A", "C")] == pytest.approx(3 * GBPS)
+
+    def test_no_constraints_means_unbounded(self):
+        rates = compute_rates({("A", "B"): 1}, {}, {})
+        assert rates[("A", "B")] == math.inf
+
+    def test_empty_input(self):
+        assert compute_rates({}, {"A": GBPS}, {"A": GBPS}) == {}
+
+    @given(
+        counts=st.lists(st.integers(min_value=0, max_value=9), min_size=3, max_size=3),
+        caps=st.lists(
+            st.floats(min_value=0.1, max_value=100.0), min_size=3, max_size=3
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rates_respect_all_constraints(self, counts, caps):
+        dcs = ["A", "B", "C"]
+        pairs = [("A", "B"), ("A", "C"), ("B", "C")]
+        flow_counts = dict(zip(pairs, counts))
+        dc_caps = dict(zip(dcs, caps))
+        rates = compute_rates(flow_counts, dc_caps, dc_caps)
+        for dc in dcs:
+            load = sum(
+                rates.get(p, 0) * n
+                for p, n in flow_counts.items()
+                if dc in p and n > 0
+            )
+            assert load <= dc_caps[dc] * (1 + 1e-9) + 1e-9
+
+
+class TestSimulatorBasics:
+    def test_single_flow_fct(self):
+        sim = FluidSimulator(egress_bps={"A": GBPS, "B": GBPS})
+        records = sim.run([(0.0, "A", "B", int(GBPS))])  # 1 Gbit at 1 Gbps
+        assert len(records) == 1
+        assert records[0].fct == pytest.approx(1.0)
+
+    def test_two_flows_share_then_speed_up(self):
+        # Two identical flows: each at 0.5 Gbps until both finish at t=2.
+        sim = FluidSimulator(egress_bps={"A": GBPS, "B": GBPS})
+        records = sim.run(
+            [(0.0, "A", "B", int(GBPS)), (0.0, "A", "B", int(GBPS))]
+        )
+        assert all(r.t_finish == pytest.approx(2.0) for r in records)
+
+    def test_staggered_flows(self):
+        # Flow 1 runs alone [0, 0.5] at 1G (0.5 Gb done), shares [0.5, 1.5]
+        # at 0.5G (0.5 Gb more) -> finishes at 1.5. Flow 2 then runs alone.
+        sim = FluidSimulator(egress_bps={"A": GBPS, "B": GBPS})
+        records = sim.run(
+            [(0.0, "A", "B", int(GBPS)), (0.5, "A", "B", int(GBPS))]
+        )
+        by_arrival = sorted(records, key=lambda r: r.t_arrive)
+        assert by_arrival[0].t_finish == pytest.approx(1.5)
+        assert by_arrival[1].t_finish == pytest.approx(2.0)
+
+    def test_cross_pair_independence(self):
+        # Different DC pairs with ample capacity don't interact.
+        sim = FluidSimulator(
+            egress_bps={"A": GBPS, "B": GBPS, "C": GBPS, "D": GBPS}
+        )
+        records = sim.run(
+            [(0.0, "A", "B", int(GBPS)), (0.0, "C", "D", int(GBPS))]
+        )
+        assert all(r.t_finish == pytest.approx(1.0) for r in records)
+
+    def test_flow_conservation(self):
+        sim = FluidSimulator(egress_bps={"A": GBPS, "B": GBPS, "C": GBPS})
+        flows = [(0.1 * i, "A", "B" if i % 2 else "C", 10_000_000) for i in range(20)]
+        records = sim.run(flows)
+        assert len(records) == 20
+        assert all(r.finished for r in records)
+
+    def test_bad_flows_rejected(self):
+        sim = FluidSimulator(egress_bps={"A": GBPS, "B": GBPS})
+        with pytest.raises(SimulationError):
+            sim.run([(0.0, "A", "A", 100)])
+        with pytest.raises(SimulationError):
+            sim.run([(0.0, "A", "B", 0)])
+
+
+class TestCapacityEvents:
+    def test_dark_window_delays_completion(self):
+        # 1 Gbit flow at 1 Gbps, but the pair goes dark during [0.2, 0.4]:
+        # finish slips from 1.0 to 1.2.
+        sim = FluidSimulator(
+            egress_bps={"A": 10 * GBPS, "B": 10 * GBPS},
+            pair_caps_bps={("A", "B"): GBPS},
+            capacity_events=[
+                (0.2, {("A", "B"): 0.0}),
+                (0.4, {("A", "B"): GBPS}),
+            ],
+        )
+        records = sim.run([(0.0, "A", "B", int(GBPS))])
+        assert records[0].t_finish == pytest.approx(1.2)
+
+    def test_capacity_increase_speeds_up(self):
+        sim = FluidSimulator(
+            egress_bps={"A": 10 * GBPS, "B": 10 * GBPS},
+            pair_caps_bps={("A", "B"): GBPS},
+            capacity_events=[(0.5, {("A", "B"): 2 * GBPS})],
+        )
+        records = sim.run([(0.0, "A", "B", int(2 * GBPS))])
+        # 0.5 Gb by t=0.5, remaining 1.5 Gb at 2 Gbps -> 1.25 total.
+        assert records[0].t_finish == pytest.approx(1.25)
+
+    def test_flow_stuck_forever_is_unfinished(self):
+        sim = FluidSimulator(
+            egress_bps={"A": GBPS, "B": GBPS},
+            pair_caps_bps={("A", "B"): 0.0},
+        )
+        records = sim.run([(0.0, "A", "B", 100)])
+        assert len(records) == 1
+        assert not records[0].finished
+
+    def test_events_require_pair_mode(self):
+        sim = FluidSimulator(
+            egress_bps={"A": GBPS, "B": GBPS},
+            capacity_events=[(0.1, {("A", "B"): GBPS})],
+        )
+        with pytest.raises(SimulationError):
+            sim.run([(0.0, "A", "B", int(GBPS))])
+
+    def test_negative_event_time_rejected(self):
+        with pytest.raises(SimulationError):
+            FluidSimulator(
+                egress_bps={"A": GBPS},
+                pair_caps_bps={},
+                capacity_events=[(-1.0, {})],
+            )
+
+
+class TestMetrics:
+    def test_percentile_interpolation(self):
+        assert percentile([1, 2, 3, 4], 50) == pytest.approx(2.5)
+        assert percentile([1, 2, 3, 4], 0) == 1
+        assert percentile([1, 2, 3, 4], 100) == 4
+
+    def test_percentile_validation(self):
+        with pytest.raises(SimulationError):
+            percentile([], 50)
+        with pytest.raises(SimulationError):
+            percentile([1.0], 110)
+
+
+class TestConservation:
+    @given(
+        sizes=st.lists(
+            st.integers(min_value=1_000, max_value=50_000_000),
+            min_size=1,
+            max_size=15,
+        ),
+        cap_gbps=st.floats(min_value=0.5, max_value=10.0),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_work_conservation(self, sizes, cap_gbps, seed):
+        """Every flow finishes, exactly once, and no earlier than its
+        size / bottleneck-rate lower bound."""
+        import random
+
+        rng = random.Random(seed)
+        cap = cap_gbps * GBPS
+        flows = []
+        t = 0.0
+        for size in sizes:
+            t += rng.expovariate(50.0)
+            flows.append((t, "A", "B", size))
+        sim = FluidSimulator(egress_bps={"A": cap, "B": cap})
+        records = sim.run(flows)
+        assert len(records) == len(sizes)
+        assert all(r.finished for r in records)
+        for r in records:
+            assert r.fct >= r.size_bits / cap - 1e-9
+        # Aggregate service never exceeds capacity x busy time.
+        total_bits = sum(r.size_bits for r in records)
+        makespan = max(r.t_finish for r in records) - min(
+            r.t_arrive for r in records
+        )
+        assert total_bits <= cap * makespan + 1e-3 * cap
+
+    def test_end_time_cuts_off(self):
+        sim = FluidSimulator(egress_bps={"A": GBPS, "B": GBPS})
+        records = sim.run([(0.0, "A", "B", int(10 * GBPS))], end_time=1.0)
+        assert len(records) == 1
+        assert not records[0].finished
+
+
+class TestUnconstrainedFabric:
+    def test_no_caps_completes_instantly(self):
+        # No configured constraints at all: flows drain at the clamp rate
+        # instead of producing NaN work (inf * 0).
+        sim = FluidSimulator(egress_bps={})
+        records = sim.run([(0.0, "A", "B", int(GBPS))])
+        assert records[0].finished
+        assert records[0].fct < 1e-6

@@ -1,0 +1,86 @@
+"""Planar geometry helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.region.geometry import (
+    Point,
+    area_from_mask,
+    bounding_box,
+    estimated_fiber_km,
+    euclidean_km,
+    grid_points,
+)
+
+coords = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_midpoint(self):
+        mid = Point(0, 0).midpoint(Point(10, 4))
+        assert (mid.x, mid.y) == (5.0, 2.0)
+
+    @given(ax=coords, ay=coords, bx=coords, by=coords)
+    def test_distance_symmetry(self, ax, ay, bx, by):
+        a, b = Point(ax, ay), Point(bx, by)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(ax=coords, ay=coords, bx=coords, by=coords, cx=coords, cy=coords)
+    def test_triangle_inequality(self, ax, ay, bx, by, cx, cy):
+        a, b, c = Point(ax, ay), Point(bx, by), Point(cx, cy)
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+
+class TestEstimatedFiber:
+    def test_default_factor_is_two(self):
+        # Fig 3 uses the industry 2x geo-distance rule [8, 15].
+        assert estimated_fiber_km(10.0) == pytest.approx(20.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            estimated_fiber_km(-1.0)
+
+
+class TestGrid:
+    def test_grid_covers_extent(self):
+        pts = grid_points(10.0, 5.0)
+        assert len(pts) == 9  # 3 x 3 including boundaries
+        xs = {p.x for p in pts}
+        assert xs == {0.0, 5.0, 10.0}
+
+    def test_grid_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            grid_points(0, 1)
+        with pytest.raises(ValueError):
+            grid_points(10, 0)
+
+    def test_area_from_mask_full(self):
+        mask = [True] * 100
+        assert area_from_mask(mask, 10.0) == pytest.approx(100.0)
+
+    def test_area_from_mask_half(self):
+        mask = [True, False] * 50
+        assert area_from_mask(mask, 10.0) == pytest.approx(50.0)
+
+    def test_area_from_empty_mask(self):
+        assert area_from_mask([], 10.0) == 0.0
+
+    def test_bounding_box(self):
+        lo, hi = bounding_box([Point(1, 5), Point(-2, 3), Point(4, -1)])
+        assert (lo.x, lo.y) == (-2, -1)
+        assert (hi.x, hi.y) == (4, 5)
+
+    def test_bounding_box_empty(self):
+        with pytest.raises(ValueError):
+            bounding_box([])
+
+
+def test_euclidean_km():
+    assert euclidean_km(0, 0, 6, 8) == pytest.approx(10.0)

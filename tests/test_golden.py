@@ -1,0 +1,50 @@
+"""Golden regression values for a fully-planned catalog region.
+
+The planner, generator, and cost model are all deterministic (seeded); this
+module pins one region's end-to-end outputs so that unintended behavioural
+changes — a different greedy tie-break, a generator tweak, a price edit —
+show up as a diff here rather than as silent drift in the benchmarks.
+Update the constants deliberately when a change is intentional.
+"""
+
+import pytest
+
+from repro.core.planner import plan_region
+from repro.cost.estimator import estimate_cost
+from repro.designs.eps import eps_inventory
+from repro.region.catalog import make_region
+
+
+@pytest.fixture(scope="module")
+def golden_plan():
+    instance = make_region(map_index=0, n_dcs=5, dc_fibers=8)
+    return instance.spec, plan_region(instance.spec)
+
+
+class TestGoldenRegion:
+    def test_topology_provisioning(self, golden_plan):
+        _, plan = golden_plan
+        assert plan.topology.total_fiber_pairs() == 528
+        assert plan.residual_fiber_pairs() == 40
+        assert len(plan.topology.scenario_paths) == 217
+        assert plan.topology.scenario_count_total == 2017
+
+    def test_optical_realization(self, golden_plan):
+        _, plan = golden_plan
+        assert plan.amplifiers.total_amplifiers == 72
+        assert plan.cut_throughs == ()
+        assert plan.validate() == []
+
+    def test_costs(self, golden_plan):
+        region, plan = golden_plan
+        iris = estimate_cost(plan.inventory())
+        eps = estimate_cost(eps_inventory(region, plan.topology))
+        assert iris.total == pytest.approx(5_444_000)
+        assert eps.total / iris.total == pytest.approx(11.48, abs=0.02)
+
+    def test_inventory_detail(self, golden_plan):
+        _, plan = golden_plan
+        inv = plan.inventory()
+        assert inv.dc_transceivers == 5 * 8 * 40
+        assert inv.fiber_pair_spans == 568  # 528 base + 40 residual
+        assert inv.oss_ports == 4 * 568 + 2 * 72

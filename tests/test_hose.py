@@ -1,0 +1,131 @@
+"""Hose-model max-flow capacity (§4.1, [29])."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.hose import (
+    hose_capacity,
+    naive_sum_capacity,
+    oriented_pairs_through_edge,
+)
+
+
+class TestOrientedPairs:
+    def test_trunk_carries_cross_pairs(self, toy_map):
+        paths = {}
+        for a, b in toy_map.dc_pairs():
+            _, p = toy_map.shortest_path(a, b)
+            paths[(a, b)] = tuple(p)
+        oriented = oriented_pairs_through_edge(("H1", "H2"), paths)
+        # Exactly the four cross pairs, oriented left-to-right.
+        assert sorted(oriented) == [
+            ("DC1", "DC3"),
+            ("DC1", "DC4"),
+            ("DC2", "DC3"),
+            ("DC2", "DC4"),
+        ]
+
+    def test_spoke_carries_three_pairs(self, toy_map):
+        paths = {}
+        for a, b in toy_map.dc_pairs():
+            _, p = toy_map.shortest_path(a, b)
+            paths[(a, b)] = tuple(p)
+        oriented = oriented_pairs_through_edge(("DC1", "H1"), paths)
+        assert sorted(oriented) == [
+            ("DC1", "DC2"),
+            ("DC1", "DC3"),
+            ("DC1", "DC4"),
+        ]
+
+    def test_orientation_flips_with_direction(self):
+        paths = {("A", "B"): ("B", "X", "A")}  # stored reversed
+        oriented = oriented_pairs_through_edge(("A", "X"), paths)
+        # The pair key's path runs B->A, crossing X->A, i.e. from B's side.
+        assert oriented == [("B", "A")]
+
+
+class TestHoseCapacity:
+    def test_toy_trunk_is_twenty(self, toy_region):
+        # §3.4: "L5 carries 20 fiber-pairs, such that the network is
+        # non-blocking" — not the naive 4 x 10 = 40.
+        pairs = [("DC1", "DC3"), ("DC1", "DC4"), ("DC2", "DC3"), ("DC2", "DC4")]
+        assert hose_capacity(pairs, toy_region.dc_fibers) == 20
+        assert naive_sum_capacity(pairs, toy_region.dc_fibers) == 40
+
+    def test_spoke_is_dc_capacity(self, toy_region):
+        pairs = [("DC1", "DC2"), ("DC1", "DC3"), ("DC1", "DC4")]
+        # DC1's egress caps everything at 10 despite 3 x 10 naive.
+        assert hose_capacity(pairs, toy_region.dc_fibers) == 10
+
+    def test_empty_pairs(self, toy_region):
+        assert hose_capacity([], toy_region.dc_fibers) == 0
+
+    def test_single_pair_is_min_capacity(self):
+        assert hose_capacity([("A", "B")], {"A": 4, "B": 9}) == 4
+
+    def test_asymmetric_capacities(self):
+        # A (2) sends to both B and C; D sends to B only.
+        pairs = [("A", "B"), ("A", "C"), ("D", "B")]
+        caps = {"A": 2, "B": 5, "C": 5, "D": 7}
+        # D->B is capped by B's ingress (5); A routes its 2 to C: total 7.
+        assert hose_capacity(pairs, caps) == 7
+
+    def test_ingress_bottleneck(self):
+        pairs = [("A", "C"), ("B", "C")]
+        caps = {"A": 8, "B": 8, "C": 5}
+        assert hose_capacity(pairs, caps) == 5
+
+    @given(
+        caps=st.lists(st.integers(min_value=1, max_value=20), min_size=2, max_size=6)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_never_exceeds_naive(self, caps):
+        dcs = {f"D{i}": c for i, c in enumerate(caps)}
+        names = sorted(dcs)
+        pairs = [(a, b) for i, a in enumerate(names) for b in names[i + 1 :]]
+        assert hose_capacity(pairs, dcs) <= naive_sum_capacity(pairs, dcs)
+
+    @given(
+        caps=st.lists(st.integers(min_value=1, max_value=20), min_size=2, max_size=6)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_by_side_sums(self, caps):
+        dcs = {f"D{i}": c for i, c in enumerate(caps)}
+        names = sorted(dcs)
+        pairs = [(a, b) for i, a in enumerate(names) for b in names[i + 1 :]]
+        value = hose_capacity(pairs, dcs)
+        egress = sum(dcs[a] for a in {a for a, _ in pairs})
+        ingress = sum(dcs[b] for b in {b for _, b in pairs})
+        assert value <= min(egress, ingress)
+
+
+class TestSolverAgainstNetworkx:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_pairs=st.integers(min_value=0, max_value=12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_networkx_maxflow(self, seed, n_pairs):
+        """The specialized augmenting-path solver agrees with a general
+        max-flow on random bipartite hose instances."""
+        import math
+        import random
+
+        import networkx as nx
+
+        rng = random.Random(seed)
+        names = list("ABCDEF")
+        caps = {n: rng.randint(1, 10) for n in names}
+        all_pairs = [(a, b) for a in names for b in names if a != b]
+        pairs = rng.sample(all_pairs, min(n_pairs, len(all_pairs)))
+
+        if pairs:
+            g = nx.DiGraph()
+            for a, b in pairs:
+                g.add_edge("S", ("L", a), capacity=caps[a])
+                g.add_edge(("R", b), "T", capacity=caps[b])
+                g.add_edge(("L", a), ("R", b), capacity=math.inf)
+            expected = int(nx.maximum_flow(g, "S", "T")[0])
+        else:
+            expected = 0
+        assert hose_capacity(pairs, caps) == expected

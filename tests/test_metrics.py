@@ -1,0 +1,67 @@
+"""FCT metrics and slowdown summaries."""
+
+import math
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.flowsim import FlowRecord
+from repro.simulation.metrics import (
+    SlowdownSummary,
+    finished_fcts,
+    slowdown_summary,
+)
+
+
+def record(size_bytes: float, fct: float, finished: bool = True) -> FlowRecord:
+    return FlowRecord(
+        src="A",
+        dst="B",
+        size_bits=int(size_bytes * 8),
+        t_arrive=0.0,
+        t_finish=fct if finished else math.inf,
+    )
+
+
+class TestFinishedFcts:
+    def test_filters_unfinished(self):
+        records = [record(1000, 1.0), record(1000, 2.0, finished=False)]
+        assert finished_fcts(records) == [1.0]
+
+    def test_short_only(self):
+        records = [record(1_000, 1.0), record(10_000_000, 5.0)]
+        assert finished_fcts(records, short_only=True) == [1.0]
+
+
+class TestSlowdownSummary:
+    def test_identical_traces_give_unity(self):
+        records = [record(1000, i / 10) for i in range(1, 101)]
+        s = slowdown_summary(records, records)
+        assert s.p99_all == pytest.approx(1.0)
+        assert s.p99_short == pytest.approx(1.0)
+        assert s.negligible
+
+    def test_slower_iris_detected(self):
+        eps = [record(1000, i / 10) for i in range(1, 101)]
+        iris = [record(1000, 1.5 * i / 10) for i in range(1, 101)]
+        s = slowdown_summary(iris, eps)
+        assert s.p99_all == pytest.approx(1.5)
+        assert not s.negligible
+
+    def test_unfinished_counted(self):
+        eps = [record(1000, 1.0)]
+        iris = [record(1000, 1.0), record(1000, 0, finished=False)]
+        s = slowdown_summary(iris, eps)
+        assert s.iris_unfinished == 1
+        assert s.eps_unfinished == 0
+
+    def test_requires_finished_flows(self):
+        with pytest.raises(SimulationError):
+            slowdown_summary([], [record(1000, 1.0)])
+
+    def test_no_short_flows_yields_nan(self):
+        eps = [record(10_000_000, 2.0)]
+        iris = [record(10_000_000, 2.0)]
+        s = slowdown_summary(iris, eps)
+        assert math.isnan(s.p99_short)
+        assert s.p99_all == pytest.approx(1.0)

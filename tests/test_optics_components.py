@@ -1,0 +1,108 @@
+"""Optical component models and the link-budget engine."""
+
+import pytest
+
+from repro.exceptions import ConstraintViolation
+from repro.optics.budget import LinkBudget, evaluate_chain, path_budget
+from repro.optics.components import (
+    Amplifier,
+    FiberSpan,
+    OpticalSpaceSwitch,
+    OpticalCrossConnect,
+    PowerLimiter,
+    Transceiver,
+    WavelengthSelectiveSwitch,
+)
+
+
+class TestComponents:
+    def test_fiber_span_loss(self):
+        # 0.25 dB/km typical regional loss [20].
+        assert FiberSpan(80.0).loss_db == pytest.approx(20.0)
+
+    def test_fiber_span_validation(self):
+        with pytest.raises(ValueError):
+            FiberSpan(-1.0)
+        with pytest.raises(ValueError):
+            FiberSpan(10.0, loss_db_per_km=0)
+
+    def test_amplifier_gain_and_noise(self):
+        amp = Amplifier()
+        state = Transceiver().launch()
+        attenuated = FiberSpan(80.0).propagate(state)
+        amplified = amp.propagate(attenuated)
+        assert amplified.signal_dbm == pytest.approx(state.signal_dbm)
+        assert amplified.noise_mw > attenuated.noise_mw
+
+    def test_amplifier_input_overload_raises(self):
+        amp = Amplifier(max_input_dbm=-20.0)
+        state = Transceiver().launch()  # -10 dBm > -20 dBm limit
+        with pytest.raises(ConstraintViolation):
+            amp.propagate(state)
+
+    def test_power_limiter_clamps(self):
+        limiter = PowerLimiter(max_output_dbm=-15.0)
+        state = Transceiver().launch()
+        clamped = limiter.propagate(state)
+        assert clamped.signal_dbm == pytest.approx(-15.0)
+
+    def test_power_limiter_passthrough_below_limit(self):
+        limiter = PowerLimiter(max_output_dbm=0.0)
+        state = Transceiver().launch()
+        assert limiter.propagate(state) == state
+
+    def test_switch_losses(self):
+        state = Transceiver().launch()
+        assert (
+            OpticalSpaceSwitch().propagate(state).signal_dbm
+            == pytest.approx(state.signal_dbm - 1.5)
+        )
+        assert (
+            OpticalCrossConnect().propagate(state).signal_dbm
+            == pytest.approx(state.signal_dbm - 9.0)
+        )
+        assert (
+            WavelengthSelectiveSwitch().propagate(state).signal_dbm
+            == pytest.approx(state.signal_dbm - 6.0)
+        )
+
+    def test_passive_loss_preserves_osnr(self):
+        state = Transceiver().launch()
+        before = state.signal_dbm
+        after = OpticalSpaceSwitch().propagate(state)
+        # Signal and noise drop together: OSNR (ratio) unchanged.
+        import math
+
+        ratio_before = 10 ** (before / 10) / state.noise_mw
+        ratio_after = 10 ** (after.signal_dbm / 10) / after.noise_mw
+        assert ratio_after == pytest.approx(ratio_before)
+
+
+class TestEvaluateChain:
+    def test_empty_chain_is_launch_state(self):
+        result = evaluate_chain([], Transceiver())
+        assert result.rx_power_dbm == pytest.approx(-10.0)
+        assert result.osnr_penalty_db == pytest.approx(0.0)
+        assert result.amplifier_count == 0
+
+    def test_single_amp_penalty_is_noise_figure(self):
+        # Fig 9: "the first amplifier adds an OSNR penalty ... equal to the
+        # amplifier's specified noise figure (~4.5 dB)".
+        chain = [FiberSpan(80.0), Amplifier()]
+        result = evaluate_chain(chain, Transceiver())
+        assert result.osnr_penalty_db == pytest.approx(4.5, abs=0.1)
+
+    def test_counts_components(self):
+        chain = [FiberSpan(20.0), Amplifier(), FiberSpan(30.0)]
+        result = evaluate_chain(chain, Transceiver())
+        assert result.amplifier_count == 1
+        assert result.total_fiber_km == pytest.approx(50.0)
+
+    def test_link_closes_within_spec(self):
+        # A typical compliant link: 60 km, one hut OSS, terminal amp.
+        result = path_budget([30.0, 30.0])
+        assert result.rx_power_dbm >= Transceiver().rx_sensitivity_dbm
+
+    def test_linkbudget_alignment_validation(self):
+        with pytest.raises(ValueError):
+            LinkBudget(segments=(10.0,), oss_after=(), amp_after=(True,))

@@ -1,0 +1,66 @@
+"""Cascaded amplifier OSNR law (Fig 9)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.optics.osnr import (
+    cascade_penalty_db,
+    emulated_cascade,
+    max_amplifiers_within_budget,
+    osnr_after_amplifiers_db,
+)
+
+
+class TestClosedForm:
+    def test_zero_amps_no_penalty(self):
+        assert cascade_penalty_db(0) == 0.0
+
+    def test_first_amp_costs_noise_figure(self):
+        assert cascade_penalty_db(1) == pytest.approx(4.5)
+
+    def test_doubling_costs_3db(self):
+        # Fig 9: "each doubling of the number of amplifiers ... ~3 dB".
+        for n in (1, 2, 4):
+            delta = cascade_penalty_db(2 * n) - cascade_penalty_db(n)
+            assert delta == pytest.approx(3.0, abs=0.02)
+
+    def test_eight_amps_about_13_5db(self):
+        assert cascade_penalty_db(8) == pytest.approx(4.5 + 9.0, abs=0.05)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            cascade_penalty_db(-1)
+
+    def test_osnr_after(self):
+        assert osnr_after_amplifiers_db(40.0, 4) == pytest.approx(
+            40.0 - 4.5 - 6.0, abs=0.05
+        )
+
+
+class TestBudget:
+    def test_paper_budget_allows_three_amps(self):
+        # §3.2: 9 dB budget => "a maximum amplifier-count of 3 end-to-end".
+        assert max_amplifiers_within_budget(9.0, 4.5) == 3
+
+    def test_four_amps_never_fit(self):
+        # penalty(4) = 4.5 + 6.0 dB, beyond the budget even with grace.
+        assert max_amplifiers_within_budget(9.0, 4.5) < 4
+
+    def test_budget_below_nf_allows_none(self):
+        assert max_amplifiers_within_budget(3.0, 4.5) == 0
+
+
+class TestEmulatedCascade:
+    @given(n=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=8, deadline=None)
+    def test_engine_matches_closed_form(self, n):
+        # The budget engine, driven through the Fig 9 experimental setup
+        # (gain-matched attenuation between amps), must reproduce the law.
+        result = emulated_cascade(n)
+        assert result.osnr_penalty_db == pytest.approx(
+            cascade_penalty_db(n), abs=0.05
+        )
+
+    def test_power_restored_after_each_stage(self):
+        result = emulated_cascade(5)
+        assert result.rx_power_dbm == pytest.approx(-10.0)

@@ -1,0 +1,143 @@
+"""Iris-vs-EPS scenarios (§6.3 headline behaviours)."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.scenarios import (
+    ScenarioConfig,
+    allocate_fibers,
+    pair_loads_bps,
+    run_comparison,
+)
+from repro.simulation.traffic import heavy_tailed_matrix
+
+import random
+
+
+def small_config(**overrides):
+    defaults = dict(
+        n_dcs=4,
+        utilization=0.4,
+        duration_s=6.0,
+        change_interval_s=2.0,
+        max_change=0.5,
+        seed=11,
+    )
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            ScenarioConfig(n_dcs=1)
+        with pytest.raises(SimulationError):
+            ScenarioConfig(utilization=0.0)
+        with pytest.raises(SimulationError):
+            ScenarioConfig(workload="nope")
+        with pytest.raises(SimulationError):
+            ScenarioConfig(duration_s=-1)
+
+    def test_fiber_rate(self):
+        cfg = ScenarioConfig(dc_capacity_bps=8e9, fibers_per_dc=8)
+        assert cfg.fiber_bps == pytest.approx(1e9)
+
+
+class TestLoadsAndAllocation:
+    def test_busiest_dc_hits_target_utilization(self):
+        cfg = small_config()
+        tm = heavy_tailed_matrix(cfg.dcs, random.Random(1))
+        loads = pair_loads_bps(tm, cfg)
+        dc_loads = {
+            dc: sum(l for p, l in loads.items() if dc in p) for dc in cfg.dcs
+        }
+        busiest = max(dc_loads.values())
+        assert busiest == pytest.approx(cfg.utilization * cfg.dc_capacity_bps)
+        # And nobody exceeds it (hose-feasible).
+        assert all(v <= busiest + 1e-6 for v in dc_loads.values())
+
+    def test_every_pair_keeps_residual_fiber(self):
+        cfg = small_config()
+        tm = heavy_tailed_matrix(cfg.dcs, random.Random(1))
+        alloc = allocate_fibers(pair_loads_bps(tm, cfg), cfg)
+        assert all(n >= 1 for n in alloc.values())
+
+    def test_allocation_covers_load(self):
+        cfg = small_config()
+        tm = heavy_tailed_matrix(cfg.dcs, random.Random(1))
+        loads = pair_loads_bps(tm, cfg)
+        alloc = allocate_fibers(loads, cfg)
+        for pair, load in loads.items():
+            assert alloc[pair] * cfg.fiber_bps >= load
+
+
+class TestComparison:
+    def test_paired_traces(self):
+        result = run_comparison(small_config())
+        # Identical flow populations on both fabrics.
+        assert result.summary.iris_flows + result.summary.iris_unfinished == (
+            result.summary.eps_flows + result.summary.eps_unfinished
+        )
+
+    def test_bounded_changes_are_negligible(self):
+        # Fig 17 right panels: small bounded changes cost <2% at the 99th.
+        result = run_comparison(
+            small_config(max_change=0.10, duration_s=8.0)
+        )
+        assert result.summary.p99_all <= 1.05
+
+    def test_iris_never_beats_eps_much(self):
+        # EPS is a superset fabric (no pair caps): Iris can't be
+        # systematically faster.
+        result = run_comparison(small_config())
+        assert result.summary.p99_all >= 0.98
+
+    def test_unbounded_changes_hurt_more_than_bounded(self):
+        bounded = run_comparison(
+            small_config(max_change=0.01, utilization=0.7, duration_s=8.0)
+        )
+        unbounded = run_comparison(
+            small_config(
+                max_change=None,
+                utilization=0.7,
+                duration_s=8.0,
+                change_interval_s=1.0,
+            )
+        )
+        assert unbounded.fibers_moved > bounded.fibers_moved
+        assert (
+            unbounded.summary.p99_all
+            >= bounded.summary.p99_all - 0.02
+        )
+
+    def test_reconfigurations_counted(self):
+        result = run_comparison(
+            small_config(max_change=None, change_interval_s=1.0, duration_s=6.0)
+        )
+        assert result.reconfigurations >= 1
+        assert result.fibers_moved >= result.reconfigurations
+
+    def test_deterministic_given_seed(self):
+        a = run_comparison(small_config())
+        b = run_comparison(small_config())
+        assert a.summary == b.summary
+
+
+class TestRepeatComparison:
+    def test_across_seeds(self):
+        from repro.simulation.scenarios import repeat_comparison
+
+        results = repeat_comparison(small_config(duration_s=4.0), seeds=[1, 2, 3])
+        assert len(results) == 3
+        # Different seeds -> different traces.
+        flows = {r.summary.iris_flows for r in results}
+        assert len(flows) > 1
+        # But all in the negligible-slowdown regime for bounded changes.
+        assert all(r.summary.p99_all < 1.3 for r in results)
+
+    def test_empty_seeds_rejected(self):
+        from repro.exceptions import SimulationError
+        from repro.simulation.scenarios import repeat_comparison
+
+        with pytest.raises(SimulationError):
+            repeat_comparison(small_config(), seeds=[])

@@ -1,0 +1,88 @@
+"""AZ-style semi-distributed designs (Fig 1(e), footnote 2)."""
+
+import pytest
+
+from repro.designs.centralized import CentralizedDesign
+from repro.designs.semidistributed import (
+    SemiDistributedDesign,
+    Zone,
+    cluster_zones,
+)
+from repro.exceptions import RegionError
+
+
+class TestZonesOnToy:
+    def test_two_zones_cluster_geographically(self, toy_region):
+        design = cluster_zones(toy_region, 2)
+        groups = sorted(tuple(sorted(z.dcs)) for z in design.zones)
+        # DC1/DC2 sit left, DC3/DC4 right: geography must separate them.
+        assert groups == [("DC1", "DC2"), ("DC3", "DC4")]
+
+    def test_hubs_are_the_local_huts(self, toy_region):
+        design = cluster_zones(toy_region, 2)
+        hubs = {z.hub for z in design.zones}
+        assert hubs == {"H1", "H2"}
+
+    def test_single_zone_is_centralized(self, toy_region):
+        design = cluster_zones(toy_region, 1)
+        assert len(design.zones) == 1
+        assert len(design.zones[0].dcs) == 4
+
+    def test_zone_count_validation(self, toy_region):
+        with pytest.raises(RegionError):
+            cluster_zones(toy_region, 0)
+        with pytest.raises(RegionError):
+            cluster_zones(toy_region, 9)
+
+    def test_partition_enforced(self, toy_region):
+        with pytest.raises(RegionError, match="partition"):
+            SemiDistributedDesign(
+                region=toy_region,
+                zones=(Zone("AZ1", ("DC1", "DC2"), "H1"),),
+            )
+
+
+class TestLatency:
+    def test_intra_zone_beats_far_hub(self, toy_region):
+        """Footnote 2: AZs alleviate the latency inflation of
+        centralization — intra-zone pairs skip the cross-region detour."""
+        az = cluster_zones(toy_region, 2)
+        central_far = CentralizedDesign(toy_region, hubs=("H1",))
+        # DC3-DC4 via their local hub H2: 20 km; via the far hub H1: 60 km.
+        assert az.pair_distance_km("DC3", "DC4") == pytest.approx(20.0)
+        assert central_far.pair_distance_km("DC3", "DC4") == pytest.approx(60.0)
+
+    def test_cross_zone_path_via_both_hubs(self, toy_region):
+        az = cluster_zones(toy_region, 2)
+        # DC1 -> H1 -> H2 -> DC3: 10 + 20 + 10.
+        assert az.pair_distance_km("DC1", "DC3") == pytest.approx(40.0)
+
+    def test_meets_sla(self, toy_region):
+        assert cluster_zones(toy_region, 2).meets_sla()
+
+
+class TestProvisioning:
+    def test_fig1e_duct_capacities(self, toy_region):
+        """Fig 1(e): f pairs on each DC duct, 2f on the central duct."""
+        az = cluster_zones(toy_region, 2)
+        caps = az.duct_capacity()
+        assert caps[("DC1", "H1")] == 10
+        assert caps[("DC3", "H2")] == 10
+        assert caps[("H1", "H2")] == 20
+
+    def test_inventory_matches_toy_counts(self, toy_region):
+        az = cluster_zones(toy_region, 2)
+        inv = az.inventory()
+        # Spokes: 40 pairs x 40 waves x 2 ends = 3200; trunk: 20 x 40 x 2
+        # = 1600 => 4800 total transceivers, same as the §3.4 EPS build.
+        assert inv.dc_transceivers + inv.innetwork_transceivers == 4800
+        assert inv.fiber_pair_spans == 60
+
+    def test_semi_distributed_between_extremes(self, small_region_instance):
+        """Port counts: centralized <= AZ design <= what full-duct EPS uses."""
+        region = small_region_instance.spec
+        az = cluster_zones(region, 2)
+        central = CentralizedDesign(region, hubs=small_region_instance.hubs)
+        az_inv = az.inventory()
+        central_inv = central.inventory()
+        assert az_inv.total_ports >= central_inv.total_ports

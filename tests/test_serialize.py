@@ -1,0 +1,81 @@
+"""JSON round-trips for regions and plan summaries."""
+
+import json
+
+import pytest
+
+from repro.core.planner import plan_region
+from repro.exceptions import ReproError
+from repro.serialize import (
+    fiber_map_from_dict,
+    fiber_map_to_dict,
+    plan_to_dict,
+    plan_to_json,
+    region_from_json,
+    region_to_json,
+)
+
+
+class TestFiberMapRoundTrip:
+    def test_round_trip(self, toy_map):
+        restored = fiber_map_from_dict(fiber_map_to_dict(toy_map))
+        assert restored.dcs == toy_map.dcs
+        assert restored.huts == toy_map.huts
+        assert restored.ducts == toy_map.ducts
+        for u, v in toy_map.ducts:
+            assert restored.duct_length(u, v) == pytest.approx(
+                toy_map.duct_length(u, v)
+            )
+        for node in toy_map.nodes:
+            assert restored.position(node) == toy_map.position(node)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ReproError):
+            fiber_map_from_dict({"nodes": [{"name": "A"}], "ducts": []})
+
+
+class TestRegionRoundTrip:
+    def test_round_trip(self, toy_region):
+        restored = region_from_json(region_to_json(toy_region))
+        assert restored.dc_fibers == dict(toy_region.dc_fibers)
+        assert restored.wavelengths_per_fiber == toy_region.wavelengths_per_fiber
+        assert restored.constraints == toy_region.constraints
+        assert restored.fiber_map.ducts == toy_region.fiber_map.ducts
+
+    def test_invalid_json(self):
+        with pytest.raises(ReproError, match="invalid JSON"):
+            region_from_json("{nope")
+
+    def test_wrong_version(self, toy_region):
+        data = json.loads(region_to_json(toy_region))
+        data["format_version"] = 99
+        with pytest.raises(ReproError, match="version"):
+            region_from_json(json.dumps(data))
+
+    def test_missing_fields(self):
+        with pytest.raises(ReproError):
+            region_from_json(json.dumps({"format_version": 1}))
+
+
+class TestPlanSummary:
+    def test_plan_summary_contents(self, toy_region):
+        plan = plan_region(toy_region)
+        data = plan_to_dict(plan)
+        assert data["base_capacity"]["H1~H2"] == 20
+        assert data["residual"]["H1~H2"] == 4
+        assert data["total_fiber_pair_spans"] == 76
+        assert data["cut_throughs"] == []
+        # Valid JSON end to end.
+        assert json.loads(plan_to_json(plan)) == data
+
+
+class TestPlanSummaryWithAmplifiers:
+    def test_amplifier_sites_serialized(self):
+        from tests.test_amplifiers import line_region
+
+        region = line_region(55.0, 55.0)
+        plan = plan_region(region)
+        data = plan_to_dict(plan)
+        assert data["amplifier_sites"] == {"M0": 4}
+        assert data["scenarios_enumerated"] >= 1
+        assert data["scenarios_total"] >= data["scenarios_enumerated"]

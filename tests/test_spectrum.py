@@ -1,0 +1,69 @@
+"""Channel plans and ASE channel emulation (§5.1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ReproError
+from repro.optics.spectrum import ChannelPlan, SpectrumLoad
+
+
+class TestChannelPlan:
+    def test_frequencies_on_grid(self):
+        plan = ChannelPlan(count=40, spacing_ghz=100.0)
+        assert plan.frequency_thz(0) == pytest.approx(191.30)
+        assert plan.frequency_thz(39) == pytest.approx(191.30 + 3.9)
+
+    def test_out_of_range_index(self):
+        plan = ChannelPlan(count=4)
+        with pytest.raises(ReproError):
+            plan.frequency_thz(4)
+        with pytest.raises(ReproError):
+            plan.frequency_thz(-1)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ChannelPlan(count=0)
+        with pytest.raises(ReproError):
+            ChannelPlan(count=4, spacing_ghz=0)
+
+
+class TestSpectrumLoad:
+    def test_everything_emulated_by_default(self):
+        load = SpectrumLoad(ChannelPlan(count=8))
+        assert load.emulated == frozenset(range(8))
+        assert load.is_fully_loaded
+
+    def test_live_channels_displace_ase(self):
+        load = SpectrumLoad(ChannelPlan(count=8), live=frozenset({0, 3}))
+        assert load.emulated == frozenset({1, 2, 4, 5, 6, 7})
+        assert load.total_channels() == 8
+
+    def test_add_and_drop(self):
+        load = SpectrumLoad(ChannelPlan(count=8))
+        load = load.add_live([1, 2])
+        assert load.live == frozenset({1, 2})
+        load = load.drop_live([1])
+        assert load.live == frozenset({2})
+
+    def test_drop_non_live_rejected(self):
+        load = SpectrumLoad(ChannelPlan(count=8), live=frozenset({1}))
+        with pytest.raises(ReproError):
+            load.drop_live([2])
+
+    def test_out_of_plan_live_rejected(self):
+        with pytest.raises(ReproError):
+            SpectrumLoad(ChannelPlan(count=4), live=frozenset({9}))
+
+    @given(
+        count=st.integers(min_value=1, max_value=64),
+        live_seed=st.sets(st.integers(min_value=0, max_value=63)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_full_load_invariant(self, count, live_seed):
+        """TC3's precondition: live + emulated always cover the full band,
+        so amplifiers see constant spectral load across reconfigurations."""
+        live = frozenset(i for i in live_seed if i < count)
+        load = SpectrumLoad(ChannelPlan(count=count), live=live)
+        assert load.live | load.emulated == frozenset(range(count))
+        assert load.live & load.emulated == frozenset()
+        assert load.total_channels() == count

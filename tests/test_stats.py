@@ -1,0 +1,43 @@
+"""Region/map statistics."""
+
+import pytest
+
+from repro.exceptions import RegionError
+from repro.region.catalog import make_region
+from repro.region.fibermap import FiberMap
+from repro.region.stats import map_stats, region_summary
+
+
+class TestMapStats:
+    def test_toy_stats(self, toy_map):
+        stats = map_stats(toy_map)
+        assert stats.dcs == 4
+        assert stats.huts == 2
+        assert stats.ducts == 5
+        assert stats.mean_duct_km == pytest.approx((4 * 10 + 20) / 5)
+        # Hub pairs: 20 km / 2 hops; cross pairs: 40 km / 3 hops.
+        assert stats.max_pair_distance_km == pytest.approx(40.0)
+        assert stats.max_pair_hops == 3
+        assert stats.mean_pair_hops == pytest.approx((2 * 2 + 4 * 3) / 6)
+
+    def test_empty_map_rejected(self):
+        with pytest.raises(RegionError):
+            map_stats(FiberMap())
+
+    def test_synthetic_maps_match_paper_regime(self):
+        """Regions span tens of km with short hop counts and metro route
+        factors — the regime §2 describes."""
+        instance = make_region(map_index=0, n_dcs=5, dc_fibers=8)
+        stats = map_stats(instance.spec.fiber_map)
+        assert stats.max_pair_distance_km <= 120.0
+        assert 1.0 <= stats.mean_route_factor <= 1.6
+        assert stats.mean_pair_hops <= 8
+
+
+class TestRegionSummary:
+    def test_summary_fields(self, toy_region):
+        summary = region_summary(toy_region)
+        assert summary["dcs"] == 4
+        assert summary["total_capacity_tbps"] == pytest.approx(640.0)
+        assert summary["failure_tolerance"] == 0
+        assert summary["sla_fiber_km"] == 120.0

@@ -1,0 +1,103 @@
+"""Emulated testbed experiments (§6.2, Fig 14)."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.testbed.emulator import IrisTestbed, SpoolConfiguration
+from repro.testbed.experiments import run_reconfiguration_experiment
+from repro.units import FEC_BER_THRESHOLD, POST_FEC_BER
+
+
+class TestSpoolConfiguration:
+    def test_spans_match_paper(self):
+        # §6.2: combinations A(60-60, 20-10) and B(20-60, 60-10).
+        assert SpoolConfiguration.A.spans_km("DC2") == (60.0, 60.0)
+        assert SpoolConfiguration.A.spans_km("DC3") == (20.0, 10.0)
+        assert SpoolConfiguration.B.spans_km("DC2") == (20.0, 60.0)
+        assert SpoolConfiguration.B.spans_km("DC3") == (60.0, 10.0)
+
+    def test_other_toggles(self):
+        assert SpoolConfiguration.A.other() is SpoolConfiguration.B
+        assert SpoolConfiguration.B.other() is SpoolConfiguration.A
+
+    def test_unknown_receiver(self):
+        with pytest.raises(ReproError):
+            SpoolConfiguration.A.spans_km("DC9")
+
+
+class TestTestbed:
+    def test_amplifier_used_interchangeably(self):
+        # "over time, both DC-DC paths interchangeably utilize the hut
+        # amplifier": the long-input path amplifies in each configuration.
+        tb = IrisTestbed()
+        assert tb.uses_amplifier("DC2") and not tb.uses_amplifier("DC3")
+        tb.swap()
+        assert tb.uses_amplifier("DC3") and not tb.uses_amplifier("DC2")
+
+    def test_all_readings_below_fec_threshold(self):
+        tb = IrisTestbed()
+        for _ in range(2):
+            for reading in tb.readings().values():
+                assert reading.prefec_ber < FEC_BER_THRESHOLD
+                assert reading.postfec_ber == POST_FEC_BER
+            tb.swap()
+
+    def test_power_management_needs_no_gain_adjustment(self):
+        # §6.2 "Power management": no power variations across varying
+        # lengths with occasional in-line amplification.
+        assert IrisTestbed().power_uniform_across_configurations()
+
+    def test_swap_rewires_hut_switch(self):
+        tb = IrisTestbed()
+        before = tb.hut_switch.connections()
+        tb.swap()
+        after = tb.hut_switch.connections()
+        assert before != after
+        assert set(before) == set(after)  # same input ports, new outputs
+
+    def test_spectrum_always_fully_loaded(self):
+        tb = IrisTestbed()
+        for load in tb.fiber_loads.values():
+            assert load.is_fully_loaded
+            assert len(load.live) == tb.config.live_channels_per_fiber
+
+
+class TestExperiment:
+    def test_fig14_headline(self):
+        summary = run_reconfiguration_experiment(
+            duration_s=180.0, reconfig_period_s=60.0, sample_interval_s=0.01
+        )
+        assert summary.reconfigurations == 2
+        # "The received pre-FEC BERs are well below the soft decision FEC
+        # threshold (2e-2)".
+        assert summary.always_below_threshold
+        assert summary.max_prefec_ber < FEC_BER_THRESHOLD / 10
+
+    def test_recovery_gap_is_50ms(self):
+        summary = run_reconfiguration_experiment(
+            duration_s=120.0, reconfig_period_s=60.0, sample_interval_s=0.01
+        )
+        assert summary.recovery_time_s == pytest.approx(0.050)
+        unlocked = [s for s in summary.samples if not s.locked]
+        # One reconfiguration, two receivers, ~5 samples each at 10 ms.
+        assert 6 <= len(unlocked) <= 14
+        assert all(s.t_s >= 60.0 for s in unlocked)
+
+    def test_two_hut_recovery_is_70ms(self):
+        summary = run_reconfiguration_experiment(
+            duration_s=120.0,
+            reconfig_period_s=60.0,
+            sample_interval_s=0.01,
+            two_huts=True,
+        )
+        assert summary.recovery_time_s == pytest.approx(0.070)
+
+    def test_availability_reflects_outages(self):
+        summary = run_reconfiguration_experiment(
+            duration_s=120.0, reconfig_period_s=60.0, sample_interval_s=0.01
+        )
+        assert 0.99 < summary.availability() < 1.0
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(ReproError):
+            run_reconfiguration_experiment(duration_s=0)

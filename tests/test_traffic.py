@@ -1,0 +1,97 @@
+"""Traffic matrices and their evolution (§6.3)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import SimulationError
+from repro.simulation.traffic import (
+    TrafficMatrix,
+    heavy_tailed_matrix,
+    perturb_matrix,
+)
+
+DCS = [f"DC{i}" for i in range(1, 7)]
+
+
+class TestTrafficMatrix:
+    def test_normalization_enforced(self):
+        with pytest.raises(SimulationError):
+            TrafficMatrix(weights={("A", "B"): 0.5})
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(SimulationError):
+            TrafficMatrix(weights={("A", "B"): 1.5, ("A", "C"): -0.5})
+
+    def test_dc_load_share(self):
+        tm = TrafficMatrix(
+            weights={("A", "B"): 0.6, ("A", "C"): 0.3, ("B", "C"): 0.1}
+        )
+        assert tm.dc_load_share("A") == pytest.approx(0.9)
+        assert tm.dc_load_share("C") == pytest.approx(0.4)
+
+
+class TestHeavyTailed:
+    def test_covers_all_pairs(self):
+        tm = heavy_tailed_matrix(DCS, random.Random(1))
+        assert len(tm.weights) == 15
+        assert sum(tm.weights.values()) == pytest.approx(1.0)
+
+    def test_few_pairs_carry_most_traffic(self):
+        # §6.3: "a few pairs exchanging most of the traffic".
+        tm = heavy_tailed_matrix(DCS, random.Random(1))
+        assert tm.top_heavy_fraction(3) > 0.4
+
+    def test_hot_pairs_differ_across_seeds(self):
+        def hottest(seed):
+            tm = heavy_tailed_matrix(DCS, random.Random(seed))
+            return max(tm.weights, key=tm.weights.get)
+
+        assert len({hottest(s) for s in range(10)}) > 1
+
+    def test_needs_two_dcs(self):
+        with pytest.raises(SimulationError):
+            heavy_tailed_matrix(["A"], random.Random(1))
+
+
+class TestPerturb:
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_bounded_changes_are_bounded(self, seed):
+        rng = random.Random(seed)
+        tm = heavy_tailed_matrix(DCS, rng)
+        new = perturb_matrix(tm, rng, max_change=0.10)
+        # Each weight moved at most ~10% before renormalization; after
+        # renormalization the ratio stays within a slightly wider band.
+        for pair in tm.weights:
+            ratio = new.weights[pair] / tm.weights[pair]
+            assert 0.75 <= ratio <= 1.30
+
+    def test_zero_change_is_identity_up_to_normalization(self):
+        rng = random.Random(3)
+        tm = heavy_tailed_matrix(DCS, rng)
+        new = perturb_matrix(tm, rng, max_change=0.0)
+        for pair in tm.weights:
+            assert new.weights[pair] == pytest.approx(tm.weights[pair])
+
+    def test_unbounded_swaps_hot_and_cold(self):
+        rng = random.Random(3)
+        tm = heavy_tailed_matrix(DCS, rng)
+        hot_before = max(tm.weights, key=tm.weights.get)
+        new = perturb_matrix(tm, rng, max_change=None)
+        # The formerly hottest pair is no longer the hottest.
+        assert max(new.weights, key=new.weights.get) != hot_before
+
+    def test_stays_normalized(self):
+        rng = random.Random(9)
+        tm = heavy_tailed_matrix(DCS, rng)
+        for _ in range(5):
+            tm = perturb_matrix(tm, rng, max_change=None)
+            assert sum(tm.weights.values()) == pytest.approx(1.0)
+
+    def test_negative_bound_rejected(self):
+        rng = random.Random(1)
+        tm = heavy_tailed_matrix(DCS, rng)
+        with pytest.raises(SimulationError):
+            perturb_matrix(tm, rng, max_change=-0.1)

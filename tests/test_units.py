@@ -1,0 +1,82 @@
+"""Unit helpers and paper constants."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestDbHelpers:
+    def test_db_round_trip(self):
+        assert units.linear_to_db(units.db_to_linear(7.3)) == pytest.approx(7.3)
+
+    def test_db_to_linear_known_values(self):
+        assert units.db_to_linear(0) == pytest.approx(1.0)
+        assert units.db_to_linear(10) == pytest.approx(10.0)
+        assert units.db_to_linear(3) == pytest.approx(2.0, rel=1e-2)
+
+    def test_linear_to_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.linear_to_db(0.0)
+        with pytest.raises(ValueError):
+            units.linear_to_db(-1.0)
+
+    def test_dbm_round_trip(self):
+        assert units.mw_to_dbm(units.dbm_to_mw(-12.5)) == pytest.approx(-12.5)
+
+    def test_mw_to_dbm_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.mw_to_dbm(0.0)
+
+
+class TestPaperConstants:
+    def test_tc1_max_span_is_80km(self):
+        # 20 dB gain / 0.25 dB per km (§3.2, TC1).
+        assert units.MAX_SPAN_KM == pytest.approx(80.0)
+
+    def test_amplifier_budget_allows_three_amps(self):
+        # 11 dB tolerable minus 2 dB margin => 9 dB => 3 amplifiers (Fig 9).
+        assert units.AMPLIFIER_OSNR_BUDGET_DB == pytest.approx(9.0)
+        assert units.MAX_AMPLIFIERS_PER_PATH == 3
+
+    def test_tc4_six_osses(self):
+        # 10 dB reconfiguration budget / 1.5 dB per OSS (§3.2, TC4).
+        assert units.MAX_OSS_PER_PATH == 6
+
+    def test_sla_is_120km(self):
+        assert units.SLA_MAX_FIBER_KM == 120.0
+
+
+class TestLatency:
+    def test_rtt_of_19km_is_about_0_2ms(self):
+        # §2.1: "a direct DC-DC connection of 19 km would achieve 0.2 ms".
+        assert units.rtt_ms(19.0) == pytest.approx(0.2, abs=0.02)
+
+    def test_rtt_of_120km_is_about_1_2ms(self):
+        # §2.1: 53-60 km spokes -> "maximum DC-DC roundtrip latency of 1.2 ms".
+        assert units.rtt_ms(120.0) == pytest.approx(1.2, abs=0.05)
+
+    def test_rtt_inverse(self):
+        km = units.fiber_km_for_rtt_ms(units.rtt_ms(42.0))
+        assert km == pytest.approx(42.0)
+
+
+class TestFibersForGbps:
+    def test_exact_fill(self):
+        # 160 Tbps at 400G x 40 wavelengths = 10 fibers (§3.4).
+        assert units.fibers_for_gbps(160_000, 40, 400) == 10
+
+    def test_rounds_up(self):
+        assert units.fibers_for_gbps(160_001, 40, 400) == 11
+
+    def test_zero_capacity(self):
+        assert units.fibers_for_gbps(0, 40, 400) == 0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            units.fibers_for_gbps(-1, 40, 400)
+        with pytest.raises(ValueError):
+            units.fibers_for_gbps(100, 0, 400)
+        with pytest.raises(ValueError):
+            units.fibers_for_gbps(100, 40, 0)

@@ -1,0 +1,88 @@
+"""Flow-size distributions (§6.3)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import SimulationError
+from repro.simulation.workloads import (
+    SHORT_FLOW_BYTES,
+    WORKLOADS,
+    FlowSizeDistribution,
+)
+
+
+class TestCatalog:
+    def test_all_four_paper_workloads_present(self):
+        # Fig 18: web1 from [4], web2/hadoop/cache from [41].
+        assert set(WORKLOADS) == {"web1", "web2", "hadoop", "cache"}
+
+    def test_short_flow_dominance(self):
+        # These intra-DC-style workloads are dominated by short flows —
+        # that's why they stress circuit switching (§6.3).
+        for name in ("web2", "hadoop", "cache"):
+            assert WORKLOADS[name].short_flow_fraction() > 0.5
+
+    def test_web1_heavy_tail(self):
+        w = WORKLOADS["web1"]
+        # Mean far above median: a heavy tail.
+        assert w.mean_bytes() > 10 * 19_000
+
+    def test_means_are_positive_and_ordered_sanely(self):
+        for dist in WORKLOADS.values():
+            assert dist.mean_bytes() > 0
+        # web search moves much more data per flow than web serving.
+        assert WORKLOADS["web1"].mean_bytes() > WORKLOADS["web2"].mean_bytes()
+
+
+class TestSampling:
+    def test_samples_within_support(self):
+        rng = random.Random(1)
+        for dist in WORKLOADS.values():
+            lo = dist.points[0][0]
+            hi = dist.points[-1][0]
+            for _ in range(500):
+                s = dist.sample(rng)
+                assert lo * 0.99 <= s <= hi * 1.01
+
+    def test_empirical_median_tracks_cdf(self):
+        rng = random.Random(7)
+        dist = WORKLOADS["cache"]
+        samples = sorted(dist.sample(rng) for _ in range(4000))
+        median = samples[2000]
+        # cache's CDF hits 0.5 at 1 KB.
+        assert 500 <= median <= 2_000
+
+    def test_empirical_mean_tracks_model(self):
+        rng = random.Random(11)
+        dist = WORKLOADS["web2"]
+        n = 20000
+        mean = sum(dist.sample(rng) for _ in range(n)) / n
+        assert mean == pytest.approx(dist.mean_bytes(), rel=0.35)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_sampling_deterministic_per_seed(self, seed):
+        d = WORKLOADS["hadoop"]
+        a = [d.sample(random.Random(seed)) for _ in range(5)]
+        b = [d.sample(random.Random(seed)) for _ in range(5)]
+        assert a == b
+
+
+class TestValidation:
+    def test_needs_two_knots(self):
+        with pytest.raises(SimulationError):
+            FlowSizeDistribution("x", ((100, 0.0),))
+
+    def test_cdf_must_reach_one(self):
+        with pytest.raises(SimulationError):
+            FlowSizeDistribution("x", ((100, 0.0), (200, 0.9)))
+
+    def test_knots_must_be_sorted(self):
+        with pytest.raises(SimulationError):
+            FlowSizeDistribution("x", ((200, 0.0), (100, 1.0)))
+
+    def test_sizes_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            FlowSizeDistribution("x", ((0, 0.0), (100, 1.0)))
