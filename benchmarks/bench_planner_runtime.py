@@ -8,6 +8,7 @@ asserts the paper's budget holds with generous margin.
 """
 
 import os
+import time
 
 from repro.core.planner import plan_region
 from repro.region.catalog import make_region
@@ -32,8 +33,6 @@ def test_planner_runtime(benchmark, report):
     assert seconds < 300.0
 
     if os.environ.get("REPRO_FULL_SCALE"):
-        import time
-
         t0 = time.time()
         instance = make_region(map_index=1, n_dcs=20, dc_fibers=8)
         big = plan_region(instance.spec)
@@ -41,3 +40,36 @@ def test_planner_runtime(benchmark, report):
         report(f"        20-DC full scale      paper minutes  measured "
                f"{elapsed / 60:.1f} min")
         assert big.validate() == []
+
+
+def test_planner_serial_vs_parallel(report):
+    """Scenario-parallel engine: jobs=N must match jobs=1 bit-for-bit, and
+    on a multi-core box the 10-DC plan should go meaningfully faster."""
+    instance = make_region(map_index=2, n_dcs=10, dc_fibers=8)
+    cores = os.cpu_count() or 1
+    jobs = min(4, cores) if cores >= 2 else 2
+
+    t0 = time.time()
+    serial = plan_region(instance.spec, jobs=1)
+    serial_s = time.time() - t0
+
+    t0 = time.time()
+    parallel = plan_region(instance.spec, jobs=jobs)
+    parallel_s = time.time() - t0
+
+    assert serial.topology == parallel.topology
+    assert serial.inventory() == parallel.inventory()
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    timings = parallel.topology.timings
+    report("§4.3   planner parallel speedup (10-DC region)")
+    report(f"        serial jobs=1         {serial_s:.1f} s   "
+           f"({serial.topology.timings.summary()})")
+    report(f"        parallel jobs={jobs}       {parallel_s:.1f} s   "
+           f"({timings.summary()})")
+    report(f"        speedup               {speedup:.2f}x on {cores} core(s)")
+
+    # The ISSUE acceptance floor (>=1.8x at jobs=4) only applies where the
+    # hardware can deliver it; single-core boxes pay pure pool overhead.
+    if cores >= 4 and jobs >= 4:
+        assert speedup >= 1.8

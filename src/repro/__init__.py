@@ -25,11 +25,13 @@ from repro.region.fibermap import (
     RegionSpec,
     duct_key,
 )
+from repro.core.engine import PlanTimings
 from repro.core.planner import IrisPlanner, plan_region
 from repro.cost.pricebook import PriceBook
 from repro.cost.estimator import estimate_cost
+from repro.designs.base import Design, available_designs, get_design
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "FiberMap",
@@ -38,7 +40,11 @@ __all__ = [
     "RegionSpec",
     "duct_key",
     "IrisPlanner",
+    "PlanTimings",
     "plan_region",
+    "Design",
+    "get_design",
+    "available_designs",
     "PriceBook",
     "estimate_cost",
     "__version__",

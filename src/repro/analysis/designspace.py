@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro.core.engine import get_backend, map_in_chunks
 from repro.core.planner import IrisPlanner
 from repro.cost.estimator import estimate_cost
 from repro.exceptions import InfeasibleRegionError, PlanningError
@@ -105,52 +106,90 @@ def full_paper_sweep() -> list[SweepPoint]:
     ]
 
 
+def _plan_sweep_point(
+    failure_tolerance: int, chunk: list[SweepPoint]
+) -> list[tuple]:
+    """Worker: the (expensive) planning products for a chunk of grid points.
+
+    One entry per point: (instance, iris plan, tolerance-0 spec, tolerance-0
+    topology). Module-level so the sweep can fan grid points out over a
+    process pool; each worker plans serially (no nested pools).
+    """
+    out: list[tuple] = []
+    for point in chunk:
+        # Randomized placement occasionally yields a region the planner
+        # proves infeasible (e.g. disconnected once Iris-unusable ducts
+        # are pruned): resample the placement, as the paper's
+        # randomized methodology implicitly does.
+        last_error: Exception | None = None
+        for attempt in range(6):
+            instance = make_region(
+                map_index=point.map_index,
+                n_dcs=point.n_dcs,
+                dc_fibers=point.dc_fibers,
+                wavelengths_per_fiber=point.wavelengths,
+                failure_tolerance=failure_tolerance,
+                placement_seed=None if attempt == 0 else 881 * attempt,
+            )
+            try:
+                plan = IrisPlanner(instance.spec).plan()
+                break
+            except (InfeasibleRegionError, PlanningError) as exc:
+                last_error = exc
+        else:
+            raise PlanningError(
+                f"no feasible placement for {point} after resampling"
+            ) from last_error
+        tol0_spec = RegionSpec(
+            fiber_map=instance.spec.fiber_map,
+            dc_fibers=instance.spec.dc_fibers,
+            wavelengths_per_fiber=point.wavelengths,
+            constraints=OperationalConstraints(failure_tolerance=0),
+        )
+        tol0_topology = IrisPlanner(tol0_spec).plan_topology()
+        out.append((instance, plan, tol0_spec, tol0_topology))
+    return out
+
+
 def run_sweep(
     points: Iterable[SweepPoint],
     prices: PriceBook | None = None,
     failure_tolerance: int = 2,
+    jobs: int | None = 1,
 ) -> list[SweepRecord]:
     """Plan and price every scenario. Plans are cached per (map, n, f)
-    since the wavelength count only affects pricing."""
+    since the wavelength count only affects pricing.
+
+    ``jobs`` fans the per-(map, n, f) planning out over worker processes
+    (grid-point parallelism); pricing stays in the parent, so records are
+    identical to a serial run.
+    """
     prices = prices or PriceBook.default()
     sr_prices = prices.with_sr_priced_dci()
-    plan_cache: dict[tuple[int, int, int], tuple] = {}
-    records: list[SweepRecord] = []
+    points = list(points)
 
+    # The distinct (map, n, f) plan keys, in first-occurrence order; each
+    # is planned once with the wavelengths of its first point (wavelengths
+    # only affect pricing, which happens per point below).
+    key_points: dict[tuple[int, int, int], SweepPoint] = {}
     for point in points:
         key = (point.map_index, point.n_dcs, point.dc_fibers)
-        if key not in plan_cache:
-            # Randomized placement occasionally yields a region the planner
-            # proves infeasible (e.g. disconnected once Iris-unusable ducts
-            # are pruned): resample the placement, as the paper's
-            # randomized methodology implicitly does.
-            last_error: Exception | None = None
-            for attempt in range(6):
-                instance = make_region(
-                    map_index=point.map_index,
-                    n_dcs=point.n_dcs,
-                    dc_fibers=point.dc_fibers,
-                    wavelengths_per_fiber=point.wavelengths,
-                    failure_tolerance=failure_tolerance,
-                    placement_seed=None if attempt == 0 else 881 * attempt,
-                )
-                try:
-                    plan = IrisPlanner(instance.spec).plan()
-                    break
-                except (InfeasibleRegionError, PlanningError) as exc:
-                    last_error = exc
-            else:
-                raise PlanningError(
-                    f"no feasible placement for {point} after resampling"
-                ) from last_error
-            tol0_spec = RegionSpec(
-                fiber_map=instance.spec.fiber_map,
-                dc_fibers=instance.spec.dc_fibers,
-                wavelengths_per_fiber=point.wavelengths,
-                constraints=OperationalConstraints(failure_tolerance=0),
-            )
-            tol0_topology = IrisPlanner(tol0_spec).plan_topology()
-            plan_cache[key] = (instance, plan, tol0_spec, tol0_topology)
+        key_points.setdefault(key, point)
+    with get_backend(jobs) as backend:
+        planned = map_in_chunks(
+            backend,
+            _plan_sweep_point,
+            failure_tolerance,
+            list(key_points.values()),
+            # Each grid point is minutes of work at paper scale: chunk at
+            # one point per task so the pool load-balances.
+            chunks_per_worker=max(len(key_points), 1),
+        )
+    plan_cache = dict(zip(key_points, planned))
+
+    records: list[SweepRecord] = []
+    for point in points:
+        key = (point.map_index, point.n_dcs, point.dc_fibers)
         instance, plan, tol0_spec, tol0_topology = plan_cache[key]
 
         region = RegionSpec(

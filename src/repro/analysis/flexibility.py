@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.core.engine import get_backend, map_in_chunks
 from repro.exceptions import ReproError
 from repro.region.catalog import RegionInstance
 from repro.region.siting import (
@@ -19,15 +20,12 @@ from repro.region.siting import (
 )
 
 
-def flexibility_gains(
-    instances: Sequence[RegionInstance],
-    spacing_km: float = 2.5,
+def _instance_gains(
+    spacing_km: float, chunk: list[RegionInstance]
 ) -> list[tuple[str, float]]:
-    """(region name, area gain) per region, in ensemble order."""
-    if not instances:
-        raise ReproError("empty ensemble")
+    """Worker: one (name, gain) per instance (module-level for pickling)."""
     out: list[tuple[str, float]] = []
-    for instance in instances:
+    for instance in chunk:
         region = instance.spec
         distributed = distributed_service_area(
             region.fiber_map,
@@ -48,3 +46,21 @@ def flexibility_gains(
             gain = distributed.area_km2 / centralized.area_km2
         out.append((instance.name, gain))
     return out
+
+
+def flexibility_gains(
+    instances: Sequence[RegionInstance],
+    spacing_km: float = 2.5,
+    jobs: int | None = 1,
+) -> list[tuple[str, float]]:
+    """(region name, area gain) per region, in ensemble order.
+
+    ``jobs`` fans the per-region service-area rasterization out over
+    worker processes; output order is ensemble order either way.
+    """
+    if not instances:
+        raise ReproError("empty ensemble")
+    with get_backend(jobs) as backend:
+        return map_in_chunks(
+            backend, _instance_gains, spacing_km, list(instances)
+        )

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.core.engine import get_backend, map_in_chunks
 from repro.designs.centralized import CentralizedDesign
 from repro.exceptions import ReproError
 from repro.region.catalog import RegionInstance
@@ -23,16 +24,16 @@ from repro.region.geometry import estimated_fiber_km
 DIRECT_ROUTE_FACTOR = 1.3
 
 
-def latency_inflation_ratios(
-    instances: Sequence[RegionInstance],
-    direct_route_factor: float = DIRECT_ROUTE_FACTOR,
-) -> list[float]:
-    """All DC pairs' hub-path / direct-path distance ratios."""
-    ratios: list[float] = []
-    for instance in instances:
+def _instance_ratios(
+    direct_route_factor: float, chunk: list[RegionInstance]
+) -> list[list[float]]:
+    """Worker: per-instance ratio lists (module-level for pickling)."""
+    out: list[list[float]] = []
+    for instance in chunk:
         region = instance.spec
         design = CentralizedDesign(region, hubs=instance.hubs)
         fmap = region.fiber_map
+        ratios: list[float] = []
         for a, b in region.iter_pairs():
             direct_km = estimated_fiber_km(
                 fmap.position(a).distance_to(fmap.position(b)),
@@ -42,6 +43,26 @@ def latency_inflation_ratios(
                 continue
             hub_km = design.pair_distance_km(a, b)
             ratios.append(hub_km / direct_km)
+        out.append(ratios)
+    return out
+
+
+def latency_inflation_ratios(
+    instances: Sequence[RegionInstance],
+    direct_route_factor: float = DIRECT_ROUTE_FACTOR,
+    jobs: int | None = 1,
+) -> list[float]:
+    """All DC pairs' hub-path / direct-path distance ratios.
+
+    ``jobs`` fans the per-region computation out over worker processes;
+    the result order (ensemble order, pairs within each region) is
+    backend-independent.
+    """
+    with get_backend(jobs) as backend:
+        per_instance = map_in_chunks(
+            backend, _instance_ratios, direct_route_factor, list(instances)
+        )
+    ratios = [r for chunk in per_instance for r in chunk]
     if not ratios:
         raise ReproError("ensemble produced no DC pairs")
     return ratios

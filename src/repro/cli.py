@@ -38,6 +38,15 @@ def _load_region(args):
     return instance.spec, instance
 
 
+def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (1=serial, 0=all CPUs)",
+    )
+
+
 def _add_region_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--region-file", help="load a region JSON instead")
     parser.add_argument("--map-index", type=int, default=0, help="catalog map (0-9)")
@@ -80,9 +89,11 @@ def cmd_plan(args) -> int:
     from repro.serialize import plan_to_json
 
     region, _ = _load_region(args)
-    plan = plan_region(region)
+    plan = plan_region(region, jobs=args.jobs)
     print(f"scenarios: {len(plan.topology.scenario_paths)} enumerated "
           f"(of {plan.topology.scenario_count_total} raw)")
+    if plan.topology.timings is not None:
+        print(f"planning time: {plan.topology.timings.summary()}")
     print(f"base fiber-pairs: {plan.topology.total_fiber_pairs()}")
     print(f"residual fiber-pair spans: {plan.residual_fiber_pairs()}")
     print(f"in-line amplifiers: {plan.amplifiers.total_amplifiers} "
@@ -145,7 +156,7 @@ def cmd_sweep(args) -> int:
     points = full_paper_sweep() if args.full else default_mini_sweep()
     if args.limit:
         points = points[: args.limit]
-    records = run_sweep(points)
+    records = run_sweep(points, jobs=args.jobs)
     print(f"{'map':>4}{'n':>4}{'f':>4}{'lam':>5}{'EPS/Iris':>10}"
           f"{'EPS/Hybrid':>12}{'in-net':>8}{'EPS0/Iris2':>12}")
     for r in records:
@@ -209,13 +220,13 @@ def cmd_analyze(args) -> int:
     from repro.region.catalog import region_ensemble
 
     instances = region_ensemble(count=args.regions, n_dcs_range=(5, 9))
-    ratios = latency_inflation_ratios(instances)
+    ratios = latency_inflation_ratios(instances, jobs=args.jobs)
     print(f"latency inflation over {len(ratios)} DC pairs "
           f"({args.regions} regions):")
     for threshold in (1.0, 1.5, 2.0, 4.0):
         frac = fraction_at_least(ratios, threshold)
         print(f"  >= {threshold:.1f}x: {frac * 100:5.1f}%")
-    gains = flexibility_gains(instances, spacing_km=4.0)
+    gains = flexibility_gains(instances, spacing_km=4.0, jobs=args.jobs)
     values = sorted(g for _, g in gains)
     print(f"siting-area gain (distributed / centralized): "
           f"median {values[len(values) // 2]:.1f}x, "
@@ -276,6 +287,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("plan", help="run the Iris planner")
     _add_region_args(p)
+    _add_jobs_arg(p)
     p.add_argument("--out", help="write plan JSON here")
     p.set_defaults(func=cmd_plan)
 
@@ -290,6 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", help="the Fig 12 design-space sweep")
     p.add_argument("--full", action="store_true", help="run all 240 scenarios")
     p.add_argument("--limit", type=int, default=0, help="only the first N points")
+    _add_jobs_arg(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("simulate", help="flow-level Iris vs EPS comparison")
@@ -311,6 +324,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("analyze", help="latency + siting analysis (Figs 3, 6)")
     p.add_argument("--regions", type=int, default=10)
+    _add_jobs_arg(p)
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("failover", help="duct-cut drill via the controller")

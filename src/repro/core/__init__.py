@@ -6,8 +6,21 @@ from repro.core.plan import (
     IrisPlan,
     TopologyPlan,
 )
+from repro.core.engine import (
+    PlanTimings,
+    SerialBackend,
+    ProcessBackend,
+    get_backend,
+    resolve_jobs,
+)
 from repro.core.failures import all_failure_scenarios, Scenario
-from repro.core.hose import hose_capacity, oriented_pairs_through_edge
+from repro.core.hose import (
+    HoseCacheStats,
+    clear_hose_cache,
+    hose_cache_stats,
+    hose_capacity,
+    oriented_pairs_through_edge,
+)
 from repro.core.topology import plan_topology, compute_scenario_paths
 from repro.core.amplifiers import place_amplifiers
 from repro.core.cutthrough import place_cut_throughs
@@ -19,8 +32,16 @@ __all__ = [
     "CutThroughLink",
     "IrisPlan",
     "TopologyPlan",
+    "PlanTimings",
+    "SerialBackend",
+    "ProcessBackend",
+    "get_backend",
+    "resolve_jobs",
     "Scenario",
     "all_failure_scenarios",
+    "HoseCacheStats",
+    "clear_hose_cache",
+    "hose_cache_stats",
     "hose_capacity",
     "oriented_pairs_through_edge",
     "plan_topology",

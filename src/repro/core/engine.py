@@ -1,0 +1,260 @@
+"""Scenario-parallel execution backends for the planner (the ``jobs=`` knob).
+
+Algorithm 1's hot path — evaluating shortest paths and hose max-flows for
+every pruned failure scenario — is embarrassingly parallel at the scenario
+level: each scenario's Dijkstra run and each scenario's per-duct hose
+max-flows depend only on the fiber map and that scenario. This module
+provides the pluggable execution layer the planner (and the design-space
+sweep) fan out over:
+
+* :class:`SerialBackend` — evaluate chunks inline, in order, in-process.
+  This is the default and is guaranteed never to spawn a worker pool.
+* :class:`ProcessBackend` — evaluate chunks in ``jobs`` worker processes
+  via :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Determinism contract: a backend runs ``fn(shared, chunk)`` over a list of
+chunks and returns the per-chunk results *in submission order*. Callers
+partition work with :func:`partition` (contiguous, order-preserving) and
+merge with order-independent operations (per-duct maxima), so parallel
+plans are bit-identical to serial ones.
+
+:class:`PlanTimings` is the instrumentation record attached to every
+:class:`~repro.core.plan.TopologyPlan`: per-phase wall time, scenarios
+evaluated, and the hose-cache hit rate, so benchmarks and the CLI can
+report where planning time goes.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence, TypeVar
+
+from repro.exceptions import ReproError
+
+T = TypeVar("T")
+
+#: Chunks submitted per worker per fan-out: small enough to amortize the
+#: per-chunk pickling of the shared payload, large enough to balance load
+#: when per-scenario costs vary.
+CHUNKS_PER_WORKER = 4
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``jobs=`` argument to a worker count.
+
+    ``None`` and ``1`` mean serial execution; ``0`` means one worker per
+    available CPU; any other positive integer is taken literally.
+    """
+    if jobs is None:
+        return 1
+    if not isinstance(jobs, int) or isinstance(jobs, bool):
+        raise ReproError(f"jobs must be an int or None, got {jobs!r}")
+    if jobs < 0:
+        raise ReproError(f"jobs must be non-negative, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def partition(items: Sequence[T], n_chunks: int) -> list[list[T]]:
+    """Split ``items`` into at most ``n_chunks`` contiguous balanced chunks.
+
+    Order is preserved: concatenating the chunks reproduces ``items``.
+    Empty chunks are never returned.
+    """
+    if n_chunks < 1:
+        raise ReproError(f"need at least one chunk, got {n_chunks}")
+    items = list(items)
+    n = len(items)
+    n_chunks = min(n_chunks, n) or 1
+    base, extra = divmod(n, n_chunks)
+    out: list[list[T]] = []
+    start = 0
+    for c in range(n_chunks):
+        size = base + (1 if c < extra else 0)
+        if size:
+            out.append(items[start : start + size])
+            start += size
+    return out
+
+
+class SerialBackend:
+    """Inline execution: chunks run in the calling process, in order.
+
+    Never touches :mod:`concurrent.futures`, so module-level caches (the
+    hose cache in particular) stay warm across the whole plan.
+    """
+
+    name = "serial"
+    jobs = 1
+
+    def run_chunks(
+        self,
+        fn: Callable[[Any, list[T]], Any],
+        shared: Any,
+        chunks: Sequence[list[T]],
+    ) -> list[Any]:
+        """Apply ``fn(shared, chunk)`` to every chunk, in order."""
+        return [fn(shared, chunk) for chunk in chunks]
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+    def __enter__(self) -> "SerialBackend":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class ProcessBackend:
+    """Worker-pool execution over ``jobs`` processes.
+
+    The pool is created lazily on the first fan-out and reused across
+    calls (the planner fans out once per enumeration level plus once for
+    the capacity phase), then shut down by :meth:`close`. ``fn`` and the
+    chunk items must be picklable module-level objects; exceptions raised
+    in workers propagate to the caller.
+    """
+
+    name = "process"
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 2:
+            raise ReproError(
+                f"a process backend needs at least 2 workers, got {jobs}"
+            )
+        self.jobs = jobs
+        self._executor: ProcessPoolExecutor | None = None
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._executor
+
+    def run_chunks(
+        self,
+        fn: Callable[[Any, list[T]], Any],
+        shared: Any,
+        chunks: Sequence[list[T]],
+    ) -> list[Any]:
+        """Apply ``fn(shared, chunk)`` across the pool; results in order."""
+        chunks = list(chunks)
+        if not chunks:
+            return []
+        # A single chunk gains nothing from the pool round-trip.
+        if len(chunks) == 1:
+            return [fn(shared, chunks[0])]
+        pool = self._pool()
+        futures: list[Future] = [
+            pool.submit(fn, shared, chunk) for chunk in chunks
+        ]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        """Shut down the pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ProcessBackend":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+#: Either execution backend (a Protocol would be overkill for two classes).
+ExecutionBackend = SerialBackend | ProcessBackend
+
+
+def get_backend(jobs: int | None = 1) -> ExecutionBackend:
+    """The execution backend for a ``jobs=`` argument.
+
+    ``jobs in (None, 1)`` yields the :class:`SerialBackend` — guaranteed
+    pool-free — anything else a :class:`ProcessBackend` with
+    :func:`resolve_jobs` workers (which may still resolve to serial on a
+    single-core machine when ``jobs=0``).
+    """
+    n = resolve_jobs(jobs)
+    if n == 1:
+        return SerialBackend()
+    return ProcessBackend(n)
+
+
+def map_in_chunks(
+    backend: ExecutionBackend,
+    fn: Callable[[Any, list[T]], list[Any]],
+    shared: Any,
+    items: Sequence[T],
+    chunks_per_worker: int = CHUNKS_PER_WORKER,
+) -> list[Any]:
+    """Fan ``items`` out in chunks and return the flattened results.
+
+    ``fn(shared, chunk)`` must return one result per chunk item, in chunk
+    order; the flattened output then aligns 1:1 with ``items``.
+    """
+    items = list(items)
+    if not items:
+        return []
+    n_chunks = max(1, backend.jobs * chunks_per_worker)
+    chunks = partition(items, n_chunks)
+    out: list[Any] = []
+    for chunk, results in zip(chunks, backend.run_chunks(fn, shared, chunks)):
+        if len(results) != len(chunk):
+            raise ReproError(
+                f"chunk worker returned {len(results)} results for "
+                f"{len(chunk)} items"
+            )
+        out.extend(results)
+    return out
+
+
+@dataclass(frozen=True)
+class PlanTimings:
+    """Where Algorithm 1's wall time went (attached to every topology plan).
+
+    ``enumerate_s`` / ``capacity_s``
+        Wall time of the scenario-path enumeration (per-scenario Dijkstra)
+        and the per-duct hose max-flow phases.
+    ``total_s``
+        End-to-end wall time of :func:`~repro.core.topology.plan_topology`
+        (includes the duct pre-pruning, so it slightly exceeds the sum of
+        the two phases).
+    ``scenarios_evaluated``
+        Scenarios actually evaluated (after pruning).
+    ``hose_cache_hits`` / ``hose_cache_misses``
+        Hose max-flow cache traffic during the capacity phase, summed over
+        all worker processes.
+    ``backend`` / ``jobs``
+        Which execution backend ran the plan, with how many workers.
+    """
+
+    enumerate_s: float
+    capacity_s: float
+    total_s: float
+    scenarios_evaluated: int
+    hose_cache_hits: int
+    hose_cache_misses: int
+    backend: str = "serial"
+    jobs: int = 1
+
+    @property
+    def hose_cache_hit_rate(self) -> float:
+        """Fraction of hose max-flow lookups served from cache."""
+        lookups = self.hose_cache_hits + self.hose_cache_misses
+        if lookups == 0:
+            return 0.0
+        return self.hose_cache_hits / lookups
+
+    def summary(self) -> str:
+        """A one-line human-readable breakdown (used by the CLI)."""
+        return (
+            f"{self.total_s:.2f} s total "
+            f"(paths {self.enumerate_s:.2f} s, capacity {self.capacity_s:.2f} s), "
+            f"{self.scenarios_evaluated} scenarios, "
+            f"hose cache hit rate {self.hose_cache_hit_rate:.0%}, "
+            f"backend {self.backend} x{self.jobs}"
+        )

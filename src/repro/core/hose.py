@@ -11,7 +11,8 @@ the edge.
 from __future__ import annotations
 
 import math
-from functools import lru_cache
+import os
+from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
 from repro.region.fibermap import Duct, duct_key
@@ -39,6 +40,83 @@ def oriented_pairs_through_edge(
     return out
 
 
+@dataclass(frozen=True)
+class HoseCacheStats:
+    """A snapshot of the per-process hose max-flow cache counters."""
+
+    hits: int
+    misses: int
+    size: int
+    maxsize: int
+
+    @property
+    def lookups(self) -> int:
+        """Total cache lookups (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when untouched)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class _HoseCache:
+    """Bounded per-process memo for the hose max-flow.
+
+    A plain module-level ``lru_cache`` is *not* per-process-safe for the
+    planner's worker pools: a forked worker inherits the parent's entries
+    and counters, so cache statistics blur across processes and a
+    long-lived sweep worker's cache grows without an owner to clear it.
+    This cache pins the PID it was created in and resets itself on first
+    use in any other process, giving every worker its own bounded cache
+    and accurate per-process hit/miss counters (which the planner's
+    :class:`~repro.core.engine.PlanTimings` aggregates).
+    """
+
+    __slots__ = ("entries", "hits", "misses", "maxsize", "pid")
+
+    def __init__(self, maxsize: int) -> None:
+        self.entries: dict[tuple, int] = {}
+        self.hits = 0
+        self.misses = 0
+        self.maxsize = maxsize
+        self.pid = os.getpid()
+
+
+_CACHE_MAXSIZE = 200_000
+_cache = _HoseCache(_CACHE_MAXSIZE)
+
+
+def _hose_cache() -> _HoseCache:
+    global _cache
+    if _cache.pid != os.getpid():
+        _cache = _HoseCache(_CACHE_MAXSIZE)
+    return _cache
+
+
+def clear_hose_cache() -> None:
+    """Drop all cached hose max-flows and reset the hit/miss counters.
+
+    Long-lived sweep processes call this between regions to bound memory;
+    tests call it to measure cache behaviour from a clean slate.
+    """
+    global _cache
+    _cache = _HoseCache(_CACHE_MAXSIZE)
+
+
+def hose_cache_stats() -> HoseCacheStats:
+    """Current-process cache counters (the engine's hit-rate hook)."""
+    cache = _hose_cache()
+    return HoseCacheStats(
+        hits=cache.hits,
+        misses=cache.misses,
+        size=len(cache.entries),
+        maxsize=cache.maxsize,
+    )
+
+
 def hose_capacity(
     oriented_pairs: Iterable[tuple[str, str]],
     dc_fibers: Mapping[str, int],
@@ -49,19 +127,33 @@ def hose_capacity(
     :func:`oriented_pairs_through_edge`; ``dc_fibers`` the per-DC capacity.
 
     The planner calls this tens of thousands of times on tiny bipartite
-    graphs, so the computation is memoized and solved with a direct
-    augmenting-path max-flow instead of a general-purpose library call.
+    graphs, so the computation is memoized (per process, see
+    :func:`hose_cache_stats`) and solved with a direct augmenting-path
+    max-flow instead of a general-purpose library call.
     """
     pairs = frozenset(oriented_pairs)
     if not pairs:
         return 0
     dcs = {dc for pair in pairs for dc in pair}
     caps = tuple(sorted((dc, dc_fibers[dc]) for dc in dcs))
-    return _hose_capacity_cached(tuple(sorted(pairs)), caps)
+    key = (tuple(sorted(pairs)), caps)
+    cache = _hose_cache()
+    value = cache.entries.get(key)
+    if value is not None:
+        cache.hits += 1
+        return value
+    cache.misses += 1
+    value = _hose_max_flow(*key)
+    if len(cache.entries) >= cache.maxsize:
+        # FIFO eviction: drop the oldest entry (dicts preserve insertion
+        # order); the planner's access pattern is bursty per scenario, so
+        # recency tracking buys nothing over this.
+        cache.entries.pop(next(iter(cache.entries)))
+    cache.entries[key] = value
+    return value
 
 
-@lru_cache(maxsize=200_000)
-def _hose_capacity_cached(
+def _hose_max_flow(
     pairs: tuple[tuple[str, str], ...],
     caps: tuple[tuple[str, int], ...],
 ) -> int:

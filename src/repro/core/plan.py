@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from repro.cost.estimator import Inventory
+from repro.core.engine import PlanTimings
 from repro.exceptions import PlanningError
 from repro.optics.constraints import PathProfile, violations
 from repro.region.fibermap import Duct, FiberMap, RegionSpec, duct_key
@@ -153,11 +154,16 @@ class TopologyPlan:
         pair -> node tuple. The no-failure scenario is always present.
     ``scenario_count_total``
         How many raw scenarios the pruned enumeration stands for.
+    ``timings``
+        Where planning wall time went (:class:`~repro.core.engine.PlanTimings`).
+        Instrumentation only: excluded from equality so serial and parallel
+        plans of the same region compare equal.
     """
 
     edge_capacity: Mapping[Duct, int]
     scenario_paths: Mapping[Scenario, Mapping[Pair, tuple[str, ...]]]
     scenario_count_total: int
+    timings: PlanTimings | None = field(default=None, compare=False, repr=False)
 
     @property
     def scenarios(self) -> list[Scenario]:

@@ -31,11 +31,17 @@ class IrisPlanner:
     ``validate``
         Check every scenario path against TC1-TC4/OC1 after planning and
         raise :class:`PlanningError` on any violation (default).
+    ``jobs``
+        Execution backend for Algorithm 1's scenario evaluation (see
+        :mod:`repro.core.engine`): ``1`` (default) stays serial and never
+        spawns a worker pool, ``N > 1`` uses ``N`` worker processes, ``0``
+        uses every CPU. Plans are bit-identical across backends.
     """
 
     region: RegionSpec
     prune_enumeration: bool = True
     validate: bool = True
+    jobs: int | None = 1
 
     def plan(self) -> IrisPlan:
         """Produce the full Iris plan for the region."""
@@ -44,7 +50,7 @@ class IrisPlanner:
 
     def plan_topology(self) -> TopologyPlan:
         """Run only Algorithm 1 (shared with the EPS baseline)."""
-        return plan_topology(self.region, self.prune_enumeration)
+        return plan_topology(self.region, self.prune_enumeration, jobs=self.jobs)
 
     def plan_from_topology(self, topology: TopologyPlan) -> IrisPlan:
         """Complete the optical realization on a precomputed topology."""
@@ -75,6 +81,22 @@ class IrisPlanner:
         return plan
 
 
-def plan_region(region: RegionSpec, **kwargs) -> IrisPlan:
-    """Convenience wrapper: ``IrisPlanner(region, **kwargs).plan()``."""
-    return IrisPlanner(region, **kwargs).plan()
+def plan_region(
+    region: RegionSpec,
+    *,
+    prune_enumeration: bool = True,
+    validate: bool = True,
+    jobs: int | None = 1,
+) -> IrisPlan:
+    """Plan ``region`` end to end (the one-call entry point).
+
+    The parameters are explicit and keyword-only — a mistyped option fails
+    loudly with a ``TypeError`` instead of being silently swallowed. They
+    mirror :class:`IrisPlanner`'s fields; see there for semantics.
+    """
+    return IrisPlanner(
+        region,
+        prune_enumeration=prune_enumeration,
+        validate=validate,
+        jobs=jobs,
+    ).plan()

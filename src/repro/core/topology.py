@@ -11,17 +11,37 @@ scenario uses leaves that scenario's paths (hence capacities) unchanged, so
 each enumerated scenario is only extended with ducts its own shortest-path
 set uses. Every omitted scenario has the same path set as some enumerated
 one. Tests cross-check this against brute force on small maps.
+
+Both phases are scenario-parallel: scenarios of one enumeration level (and
+scenario chunks of the capacity phase) are independent, so they fan out
+over an execution backend from :mod:`repro.core.engine` selected by the
+``jobs=`` parameter. The frontier is partitioned into contiguous chunks and
+per-duct maxima are merged in the parent, so parallel plans are
+bit-identical to serial ones.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Mapping
+import time
+from typing import Mapping, Sequence
 
 import networkx as nx
 
+from repro.core.engine import (
+    ExecutionBackend,
+    PlanTimings,
+    SerialBackend,
+    get_backend,
+    map_in_chunks,
+    partition,
+)
 from repro.core.failures import Scenario
-from repro.core.hose import hose_capacity, oriented_pairs_through_edge
+from repro.core.hose import (
+    hose_cache_stats,
+    hose_capacity,
+    oriented_pairs_through_edge,
+)
 from repro.core.plan import Pair, TopologyPlan
 from repro.exceptions import InfeasibleRegionError
 from repro.region.fibermap import Duct, FiberMap, RegionSpec, duct_key, pair_key
@@ -83,17 +103,43 @@ def _used_ducts(paths: Mapping[Pair, tuple[str, ...]]) -> set[Duct]:
     return used
 
 
+def _paths_chunk(
+    shared: tuple[FiberMap, float | None], scenarios: list[Scenario]
+) -> list[dict[Pair, tuple[str, ...]]]:
+    """Worker: evaluate one chunk of scenarios (module-level for pickling)."""
+    fmap, sla_fiber_km = shared
+    return [
+        compute_scenario_paths(fmap, scenario, sla_fiber_km)
+        for scenario in scenarios
+    ]
+
+
+def _evaluate_scenarios(
+    backend: ExecutionBackend,
+    fmap: FiberMap,
+    scenarios: Sequence[Scenario],
+    sla_fiber_km: float | None,
+) -> list[dict[Pair, tuple[str, ...]]]:
+    """Per-scenario path sets, aligned 1:1 with ``scenarios``."""
+    return map_in_chunks(backend, _paths_chunk, (fmap, sla_fiber_km), scenarios)
+
+
 def enumerate_scenario_paths(
     fmap: FiberMap,
     tolerance: int,
     sla_fiber_km: float | None = None,
     prune: bool = True,
+    backend: ExecutionBackend | None = None,
 ) -> tuple[dict[Scenario, dict[Pair, tuple[str, ...]]], int]:
     """All (pruned) failure scenarios with their shortest-path sets.
 
     Returns (scenario -> pair -> path, total raw scenario count the pruned
     set represents). With ``prune=False``, enumerates brute force (tests).
+    ``backend`` fans the per-level scenario evaluations out (serial when
+    omitted); the frontier expansion itself stays in the parent, so the
+    enumerated set and its order are backend-independent.
     """
+    backend = backend or SerialBackend()
     n_ducts = len(fmap.ducts)
     total_raw = sum(
         _comb(n_ducts, k) for k in range(min(tolerance, n_ducts) + 1)
@@ -101,20 +147,20 @@ def enumerate_scenario_paths(
 
     results: dict[Scenario, dict[Pair, tuple[str, ...]]] = {}
     if not prune:
-        for k in range(tolerance + 1):
-            for combo in itertools.combinations(fmap.ducts, k):
-                scenario = Scenario(combo)
-                results[scenario] = compute_scenario_paths(
-                    fmap, scenario, sla_fiber_km
-                )
-        return results, total_raw
+        scenarios = [
+            Scenario(combo)
+            for k in range(tolerance + 1)
+            for combo in itertools.combinations(fmap.ducts, k)
+        ]
+        evaluated = _evaluate_scenarios(backend, fmap, scenarios, sla_fiber_km)
+        return dict(zip(scenarios, evaluated)), total_raw
 
     frontier: list[Scenario] = [Scenario()]
     seen: set[Scenario] = {Scenario()}
     for level in range(tolerance + 1):
+        evaluated = _evaluate_scenarios(backend, fmap, frontier, sla_fiber_km)
         next_frontier: list[Scenario] = []
-        for scenario in frontier:
-            paths = compute_scenario_paths(fmap, scenario, sla_fiber_km)
+        for scenario, paths in zip(frontier, evaluated):
             results[scenario] = paths
             if level < tolerance:
                 for duct in sorted(_used_ducts(paths)):
@@ -133,9 +179,34 @@ def _comb(n: int, k: int) -> int:
     return c
 
 
+def _capacity_chunk(
+    dc_fibers: Mapping[str, int],
+    path_sets: list[Mapping[Pair, tuple[str, ...]]],
+) -> tuple[dict[Duct, int], int, int]:
+    """Worker: per-duct hose maxima over one chunk of scenario path sets.
+
+    Returns the chunk's (duct -> needed capacity, cache hits, cache misses);
+    the parent merges chunk results by per-duct maximum, which is
+    order-independent, so the merged capacities match serial execution
+    exactly. Hits/misses are measured against this process's hose cache.
+    """
+    before = hose_cache_stats()
+    edge_capacity: dict[Duct, int] = {}
+    for paths in path_sets:
+        for edge in _used_ducts(paths):
+            oriented = tuple(sorted(oriented_pairs_through_edge(edge, paths)))
+            needed = hose_capacity(oriented, dc_fibers)
+            if needed > edge_capacity.get(edge, 0):
+                edge_capacity[edge] = needed
+    after = hose_cache_stats()
+    return edge_capacity, after.hits - before.hits, after.misses - before.misses
+
+
 def plan_topology(
     region: RegionSpec,
     prune_enumeration: bool = True,
+    *,
+    jobs: int | None = 1,
 ) -> TopologyPlan:
     """Run Algorithm 1 for ``region``.
 
@@ -143,7 +214,15 @@ def plan_topology(
     before the residual provisioning that fiber-granularity switching adds
     (§4.3). Both the electrical (EPS) and optical (Iris) realizations start
     from this plan.
+
+    ``jobs`` selects the execution backend (see :mod:`repro.core.engine`):
+    ``1`` (default) runs serially in-process, ``N > 1`` fans scenario
+    evaluation out over ``N`` worker processes, ``0`` uses every CPU. The
+    plan is bit-identical across backends; the attached
+    :class:`~repro.core.engine.PlanTimings` records which backend ran and
+    where the time went.
     """
+    t_start = time.perf_counter()
     constraints = region.constraints
     # Ducts beyond point-to-point reach are useless under any switching
     # (TC1); ducts beyond the Iris per-run budget (fiber + the two endpoint
@@ -152,29 +231,48 @@ def plan_topology(
     usable_km = min(constraints.max_span_km, IRIS_MAX_DUCT_KM)
     fmap = prune_overlong_ducts(region.fiber_map, usable_km)
 
-    scenario_paths, total_raw = enumerate_scenario_paths(
-        fmap,
-        constraints.failure_tolerance,
-        sla_fiber_km=constraints.sla_fiber_km,
-        prune=prune_enumeration,
+    with get_backend(jobs) as backend:
+        t_enum = time.perf_counter()
+        scenario_paths, total_raw = enumerate_scenario_paths(
+            fmap,
+            constraints.failure_tolerance,
+            sla_fiber_km=constraints.sla_fiber_km,
+            prune=prune_enumeration,
+            backend=backend,
+        )
+        t_capacity = time.perf_counter()
+
+        # Different scenarios mostly reroute a few pairs, so the oriented
+        # pair set of an edge recurs across scenarios: the per-process hose
+        # cache memoizes the max-flow per set. Chunk results merge by
+        # per-duct maximum, so chunking cannot change the outcome.
+        edge_capacity: dict[Duct, int] = {}
+        hits = misses = 0
+        path_sets = list(scenario_paths.values())
+        chunks = partition(path_sets, max(1, backend.jobs * 4)) if path_sets else []
+        for chunk_caps, chunk_hits, chunk_misses in backend.run_chunks(
+            _capacity_chunk, region.dc_fibers, chunks
+        ):
+            hits += chunk_hits
+            misses += chunk_misses
+            for edge, needed in chunk_caps.items():
+                if needed > edge_capacity.get(edge, 0):
+                    edge_capacity[edge] = needed
+        t_end = time.perf_counter()
+
+    timings = PlanTimings(
+        enumerate_s=t_capacity - t_enum,
+        capacity_s=t_end - t_capacity,
+        total_s=t_end - t_start,
+        scenarios_evaluated=len(scenario_paths),
+        hose_cache_hits=hits,
+        hose_cache_misses=misses,
+        backend=backend.name,
+        jobs=backend.jobs,
     )
-
-    edge_capacity: dict[Duct, int] = {}
-    # Different scenarios mostly reroute a few pairs, so the oriented pair
-    # set of an edge recurs across scenarios: memoize the max-flow per set.
-    flow_cache: dict[tuple, int] = {}
-    for paths in scenario_paths.values():
-        for edge in _used_ducts(paths):
-            oriented = tuple(sorted(oriented_pairs_through_edge(edge, paths)))
-            needed = flow_cache.get(oriented)
-            if needed is None:
-                needed = hose_capacity(oriented, region.dc_fibers)
-                flow_cache[oriented] = needed
-            if needed > edge_capacity.get(edge, 0):
-                edge_capacity[edge] = needed
-
     return TopologyPlan(
         edge_capacity=edge_capacity,
         scenario_paths=scenario_paths,
         scenario_count_total=total_raw,
+        timings=timings,
     )

@@ -1,5 +1,24 @@
-"""Design-space alternatives and baselines (§2.4, §4.2, §4.4, App. B)."""
+"""Design-space alternatives and baselines (§2.4, §4.2, §4.4, App. B).
 
+All designers are reachable through the unified :class:`Design` API::
+
+    from repro.designs import get_design
+    inventory = get_design("eps").plan(region)
+
+See :mod:`repro.designs.base` for the protocol and registry.
+"""
+
+from repro.designs.base import (
+    CentralizedDesigner,
+    Design,
+    EPSDesign,
+    HybridDesign,
+    IrisDesign,
+    SemiDistributedDesigner,
+    available_designs,
+    get_design,
+    register_design,
+)
 from repro.designs.portmodel import PortModel, PortModelPoint
 from repro.designs.eps import eps_inventory, eps_inventory_from_plan
 from repro.designs.centralized import CentralizedDesign
@@ -19,6 +38,15 @@ from repro.designs.wavelength_network import (
 )
 
 __all__ = [
+    "Design",
+    "get_design",
+    "register_design",
+    "available_designs",
+    "IrisDesign",
+    "EPSDesign",
+    "HybridDesign",
+    "CentralizedDesigner",
+    "SemiDistributedDesigner",
     "PortModel",
     "PortModelPoint",
     "eps_inventory",

@@ -31,6 +31,20 @@ class CentralizedDesign:
     region: RegionSpec
     hubs: tuple[str, ...]
 
+    #: Registry identifier (the class satisfies :class:`repro.designs.Design`).
+    name = "centralized"
+
+    def plan(self, region: RegionSpec) -> Inventory:
+        """The unified :class:`~repro.designs.Design` entry point.
+
+        Re-binds this design's hubs to ``region`` and returns the
+        resulting equipment inventory.
+        """
+        from dataclasses import replace
+
+        design = self if region is self.region else replace(self, region=region)
+        return design.inventory()
+
     def __post_init__(self) -> None:
         if not (1 <= len(self.hubs) <= 2):
             raise RegionError("centralized designs use one or two hubs")

@@ -41,6 +41,20 @@ class SemiDistributedDesign:
     region: RegionSpec
     zones: tuple[Zone, ...]
 
+    #: Registry identifier (the class satisfies :class:`repro.designs.Design`).
+    name = "semidistributed"
+
+    def plan(self, region: RegionSpec) -> Inventory:
+        """The unified :class:`~repro.designs.Design` entry point.
+
+        Re-binds this design's zones to ``region`` (the zones must still
+        partition the region's DCs) and returns the inventory.
+        """
+        from dataclasses import replace
+
+        design = self if region is self.region else replace(self, region=region)
+        return design.inventory()
+
     def __post_init__(self) -> None:
         covered = [dc for z in self.zones for dc in z.dcs]
         if sorted(covered) != self.region.dcs:

@@ -21,6 +21,13 @@ class InfeasibleRegionError(RegionError):
         self.scenario = scenario
         self.pair = pair
 
+    def __reduce__(self):
+        # Default exception pickling only replays ``args``, dropping the
+        # scenario/pair attributes when a worker process raises; preserve
+        # them across the pool boundary.
+        message = self.args[0] if self.args else ""
+        return (self.__class__, (message, self.scenario, self.pair))
+
 
 class PlanningError(ReproError):
     """The planner could not produce a plan meeting all constraints."""
@@ -33,6 +40,10 @@ class ConstraintViolation(ReproError):
         super().__init__(message)
         self.constraint = constraint
         self.path = path
+
+    def __reduce__(self):
+        message = self.args[0] if self.args else ""
+        return (self.__class__, (message, self.constraint, self.path))
 
 
 class DeviceError(ReproError):

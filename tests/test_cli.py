@@ -37,6 +37,19 @@ class TestPlanCommand:
         assert "constraint violations: 0" in out
         assert json.loads(out_file.read_text())["total_fiber_pair_spans"] > 0
 
+    def test_plan_parallel_smoke(self, capsys):
+        """ISSUE smoke target: the --jobs pool path runs on every CI pass."""
+        assert main(["plan", "--dcs", "5", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "constraint violations: 0" in out
+        assert "backend process" in out
+
+    def test_plan_serial_reports_timings(self, capsys):
+        assert main(["plan", "--dcs", "4", "--tolerance", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "planning time" in out
+        assert "backend serial" in out
+
 
 class TestCostCommand:
     def test_cost_table(self, capsys):

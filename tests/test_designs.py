@@ -2,8 +2,9 @@
 
 import pytest
 
-from repro.cost.estimator import estimate_cost
+from repro.cost.estimator import Inventory, estimate_cost
 from repro.cost.pricebook import PriceBook
+from repro.designs import Design, available_designs, get_design
 from repro.designs.centralized import CentralizedDesign
 from repro.designs.distributed import (
     balanced_groups,
@@ -233,3 +234,77 @@ class TestHybrid:
         iris = estimate_cost(small_plan.inventory()).total
         hybrid = estimate_cost(hybridize(small_plan).inventory()).total
         assert hybrid == pytest.approx(iris, rel=0.15)
+
+
+class TestDesignRegistry:
+    def test_registry_lists_all_baselines(self):
+        assert available_designs() == [
+            "centralized",
+            "eps",
+            "hybrid",
+            "iris",
+            "semidistributed",
+        ]
+
+    def test_every_kind_satisfies_protocol(self, toy_region):
+        for kind in available_designs():
+            design = get_design(kind)
+            assert isinstance(design, Design)
+            assert design.name == kind
+            inv = design.plan(toy_region)
+            assert isinstance(inv, Inventory)
+            assert inv.dc_transceivers > 0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReproError, match="unknown design"):
+            get_design("quantum")
+
+    def test_eps_matches_free_function(self, toy_region):
+        from repro.core.topology import plan_topology
+
+        via_registry = get_design("eps").plan(toy_region)
+        direct = eps_inventory(toy_region, plan_topology(toy_region))
+        assert via_registry == direct
+
+    def test_iris_matches_plan_region(self, toy_region):
+        from repro.core.planner import plan_region
+
+        via_registry = get_design("iris").plan(toy_region)
+        assert via_registry == plan_region(toy_region).inventory()
+
+    def test_hybrid_matches_hybridize(self, small_plan, small_region_instance):
+        via_registry = get_design("hybrid", max_combine=4).plan(
+            small_region_instance.spec
+        )
+        assert via_registry == hybridize(small_plan, max_combine=4).inventory()
+
+    def test_options_forwarded(self, toy_region):
+        inv = get_design("centralized", hubs=("H1",)).plan(toy_region)
+        direct = CentralizedDesign(toy_region, hubs=("H1",)).inventory()
+        assert inv == direct
+
+    def test_legacy_designers_satisfy_protocol(self, toy_region):
+        design = CentralizedDesign(toy_region, hubs=("H1", "H2"))
+        assert isinstance(design, Design)
+        assert design.plan(toy_region) == design.inventory()
+
+    def test_legacy_plan_rebinds_region(self, toy_region, toy_map):
+        from repro.region.fibermap import OperationalConstraints, RegionSpec
+
+        other = RegionSpec(
+            fiber_map=toy_map,
+            dc_fibers={f"DC{i}": 5 for i in range(1, 5)},
+            constraints=OperationalConstraints(failure_tolerance=0),
+        )
+        design = CentralizedDesign(toy_region, hubs=("H1",))
+        rebound = CentralizedDesign(other, hubs=("H1",))
+        assert design.plan(other) == rebound.inventory()
+
+    def test_duplicate_registration_rejected(self):
+        from repro.designs.base import register_design
+
+        with pytest.raises(ReproError, match="already registered"):
+
+            @register_design("iris")
+            class Clone:  # pragma: no cover - rejected before use
+                pass

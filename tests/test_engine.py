@@ -1,0 +1,201 @@
+"""The scenario-parallel execution engine: backends, parity, cache, timings."""
+
+import pytest
+
+from repro.core import engine
+from repro.core.engine import (
+    PlanTimings,
+    ProcessBackend,
+    SerialBackend,
+    get_backend,
+    map_in_chunks,
+    partition,
+    resolve_jobs,
+)
+from repro.core.hose import clear_hose_cache, hose_cache_stats, hose_capacity
+from repro.core.planner import plan_region
+from repro.core.topology import plan_topology
+from repro.exceptions import InfeasibleRegionError, ReproError
+from repro.region.catalog import make_region
+from repro.region.fibermap import OperationalConstraints, RegionSpec
+
+
+def _double_chunk(shared, chunk):
+    """Module-level worker (must be picklable for the process backend)."""
+    return [shared * item for item in chunk]
+
+
+class TestResolveJobs:
+    def test_defaults_to_serial(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+
+    def test_zero_means_all_cpus(self):
+        assert resolve_jobs(0) >= 1
+
+    def test_explicit_count(self):
+        assert resolve_jobs(3) == 3
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ReproError):
+            resolve_jobs(-1)
+        with pytest.raises(ReproError):
+            resolve_jobs(2.5)
+
+
+class TestPartition:
+    def test_preserves_order_and_content(self):
+        items = list(range(17))
+        chunks = partition(items, 5)
+        assert [x for c in chunks for x in c] == items
+        assert len(chunks) == 5
+        assert max(len(c) for c in chunks) - min(len(c) for c in chunks) <= 1
+
+    def test_more_chunks_than_items(self):
+        assert partition([1, 2], 8) == [[1], [2]]
+
+    def test_empty(self):
+        assert partition([], 4) == []
+
+    def test_invalid_chunk_count(self):
+        with pytest.raises(ReproError):
+            partition([1], 0)
+
+
+class TestBackends:
+    def test_get_backend_serial(self):
+        assert isinstance(get_backend(1), SerialBackend)
+        assert isinstance(get_backend(None), SerialBackend)
+
+    def test_get_backend_process(self):
+        backend = get_backend(2)
+        assert isinstance(backend, ProcessBackend)
+        assert backend.jobs == 2
+        backend.close()
+
+    def test_serial_map(self):
+        with get_backend(1) as backend:
+            out = map_in_chunks(backend, _double_chunk, 3, [1, 2, 3, 4])
+        assert out == [3, 6, 9, 12]
+
+    def test_process_map_matches_serial(self):
+        items = list(range(25))
+        with get_backend(2) as backend:
+            out = map_in_chunks(backend, _double_chunk, 2, items)
+        assert out == [2 * i for i in items]
+
+    def test_process_backend_needs_two_workers(self):
+        with pytest.raises(ReproError):
+            ProcessBackend(1)
+
+
+class TestSerialNeverSpawnsPool:
+    def test_jobs_1_plans_without_pool(self, monkeypatch):
+        """The contract the docs promise: ``jobs=1`` must stay in-process."""
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("jobs=1 spawned a process pool")
+
+        monkeypatch.setattr(engine, "ProcessPoolExecutor", forbidden)
+        instance = make_region(map_index=0, n_dcs=4, dc_fibers=4)
+        plan = plan_region(instance.spec, jobs=1)
+        assert plan.validate() == []
+        assert plan.topology.timings.backend == "serial"
+
+
+class TestSerialParallelParity:
+    """ISSUE acceptance: parallel plans bit-identical to serial ones."""
+
+    @pytest.mark.parametrize("map_index,n_dcs", [(0, 5), (1, 4)])
+    @pytest.mark.parametrize("tolerance", [1, 2])
+    def test_topology_identical(self, map_index, n_dcs, tolerance):
+        instance = make_region(
+            map_index=map_index,
+            n_dcs=n_dcs,
+            dc_fibers=8,
+            failure_tolerance=tolerance,
+        )
+        serial = plan_topology(instance.spec, jobs=1)
+        parallel = plan_topology(instance.spec, jobs=2)
+        assert dict(serial.edge_capacity) == dict(parallel.edge_capacity)
+        assert serial.scenario_paths == parallel.scenario_paths
+        assert serial.scenario_count_total == parallel.scenario_count_total
+        assert serial.scenarios == parallel.scenarios
+        # Dataclass equality ignores the (instrumentation-only) timings.
+        assert serial == parallel
+        assert parallel.timings.backend == "process"
+        assert parallel.timings.jobs == 2
+
+    def test_full_plan_identical(self):
+        instance = make_region(map_index=0, n_dcs=5, dc_fibers=8)
+        serial = plan_region(instance.spec, jobs=1)
+        parallel = plan_region(instance.spec, jobs=2)
+        assert serial.topology == parallel.topology
+        assert dict(serial.residual) == dict(parallel.residual)
+        assert serial.cut_throughs == parallel.cut_throughs
+        assert serial.effective_paths == parallel.effective_paths
+        assert serial.inventory() == parallel.inventory()
+
+    def test_brute_force_parity(self, toy_region):
+        serial = plan_topology(toy_region, prune_enumeration=False, jobs=1)
+        parallel = plan_topology(toy_region, prune_enumeration=False, jobs=2)
+        assert serial == parallel
+
+
+class TestWorkerErrorPropagation:
+    def test_infeasible_region_surfaces_from_pool(self, toy_map):
+        # The toy map is a tree: any single cut disconnects a pair, and the
+        # failing scenario is evaluated inside a worker process.
+        region = RegionSpec(
+            fiber_map=toy_map,
+            dc_fibers={f"DC{i}": 10 for i in range(1, 5)},
+            constraints=OperationalConstraints(failure_tolerance=1),
+        )
+        with pytest.raises(InfeasibleRegionError) as exc:
+            plan_topology(region, jobs=2)
+        # The diagnostic attributes survive the pickle round-trip.
+        assert exc.value.scenario is not None
+        assert exc.value.pair is not None
+
+
+class TestHoseCache:
+    def test_stats_count_hits_and_misses(self):
+        clear_hose_cache()
+        caps = {"A": 4, "B": 7}
+        assert hose_capacity([("A", "B")], caps) == 4
+        assert hose_capacity([("A", "B")], caps) == 4
+        stats = hose_cache_stats()
+        assert stats.misses == 1
+        assert stats.hits == 1
+        assert stats.size == 1
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_clear_resets(self):
+        hose_capacity([("A", "B")], {"A": 1, "B": 1})
+        clear_hose_cache()
+        stats = hose_cache_stats()
+        assert (stats.hits, stats.misses, stats.size) == (0, 0, 0)
+        assert stats.hit_rate == 0.0
+
+    def test_empty_pairs_bypass_cache(self):
+        clear_hose_cache()
+        assert hose_capacity([], {"A": 1}) == 0
+        assert hose_cache_stats().lookups == 0
+
+
+class TestPlanTimings:
+    def test_attached_and_plausible(self, toy_region):
+        plan = plan_topology(toy_region)
+        t = plan.timings
+        assert isinstance(t, PlanTimings)
+        assert t.scenarios_evaluated == len(plan.scenario_paths)
+        assert t.total_s >= t.enumerate_s + t.capacity_s - 1e-6
+        assert t.hose_cache_misses >= 1
+        assert 0.0 <= t.hose_cache_hit_rate <= 1.0
+        assert t.backend == "serial" and t.jobs == 1
+
+    def test_summary_is_one_line(self, toy_region):
+        t = plan_topology(toy_region).timings
+        summary = t.summary()
+        assert "\n" not in summary
+        assert "scenarios" in summary and "backend serial" in summary
