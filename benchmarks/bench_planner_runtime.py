@@ -4,13 +4,22 @@ Paper: the heuristics "still execute within a few minutes for even large
 region sizes with 20 DCs", running once at provisioning time. This bench
 times the full pipeline (Algorithm 1 with 2-cut enumeration, amplifier and
 cut-through placement, residual provisioning) at a mid-size region and
-asserts the paper's budget holds with generous margin.
+asserts the paper's budget holds with generous margin. Per-phase wall
+times come from :func:`repro.obs.profile_plan` rather than stopwatching
+around the call, so the report attributes runtime to the phase that spent
+it.
+
+Run directly for a CI smoke pass that emits the JSON trace::
+
+    PYTHONPATH=src python benchmarks/bench_planner_runtime.py --smoke \\
+        --trace-json planner_trace.jsonl
 """
 
 import os
 import time
 
 from repro.core.planner import plan_region
+from repro.obs import profile_plan
 from repro.region.catalog import make_region
 
 
@@ -31,6 +40,30 @@ def test_planner_runtime(benchmark, report):
 
     assert plan.validate() == []
     assert seconds < 300.0
+
+
+def test_planner_phase_profile(report):
+    """Where does planning time go? Per-phase breakdown via repro.obs."""
+    instance = make_region(map_index=0, n_dcs=5, dc_fibers=8)
+    result = profile_plan(instance.spec)
+
+    total_s = result.trace.duration_s
+    report("§4.3   planner phase profile (5-DC region, jobs=1)")
+    for row in result.phases:
+        # Top-level phases only; the per-level enumerate spans are in the
+        # full trace (--smoke --trace-json) but would double-count here.
+        if not row.name.startswith("plan.") or "level[" in row.name:
+            continue
+        share = row.total_s / total_s if total_s > 0 else 0.0
+        report(f"        {row.name:<22}{row.total_s * 1000:8.1f} ms"
+               f"  ({share:5.1%} of {total_s:.2f} s)")
+    report(f"        scenarios evaluated   {result.total('scenarios.evaluated'):.0f}"
+           f"   hose lookups {result.total('hose.lookups'):.0f}")
+
+    assert result.plan.validate() == []
+    # The capacity phase dominates Algorithm 1; it must show up.
+    phase_names = {row.name for row in result.phases}
+    assert {"plan.enumerate", "plan.capacity"} <= phase_names
 
     if os.environ.get("REPRO_FULL_SCALE"):
         t0 = time.time()
@@ -73,3 +106,40 @@ def test_planner_serial_vs_parallel(report):
     # hardware can deliver it; single-core boxes pay pure pool overhead.
     if cores >= 4 and jobs >= 4:
         assert speedup >= 1.8
+
+
+def _smoke(trace_json: str | None) -> int:
+    """CI smoke: profile a small region, print the phase table, dump trace."""
+    from repro.obs import write_trace_json
+
+    instance = make_region(map_index=0, n_dcs=5, dc_fibers=8)
+    result = profile_plan(instance.spec)
+    problems = result.plan.validate()
+
+    print(result.render())
+    print()
+    for row in result.csv_rows():
+        print(",".join(row))
+    if trace_json:
+        write_trace_json(trace_json, result.trace)
+        print(f"\ntrace written to {trace_json}")
+    if problems:
+        print(f"PLAN INVALID: {problems[:3]}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the quick profiling smoke pass and exit")
+    parser.add_argument("--trace-json", metavar="PATH", default=None,
+                        help="also write the span trace as JSON lines")
+    cli_args = parser.parse_args()
+    if not cli_args.smoke:
+        parser.error("this entry point only supports --smoke; "
+                     "use pytest for the full benchmarks")
+    sys.exit(_smoke(cli_args.trace_json))

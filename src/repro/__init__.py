@@ -16,8 +16,12 @@ networking multi-data center regions" (Dukic et al., SIGCOMM 2020):
 * :mod:`repro.testbed` — emulation of the paper's optical testbed (§6.2).
 * :mod:`repro.simulation` — the flow-level simulator used in §6.3.
 * :mod:`repro.analysis` — the per-figure analyses of the evaluation.
+* :mod:`repro.obs` — structured observability: hierarchical spans,
+  counters, and exporters threaded through the planner, engine, simulator,
+  and control plane (off by default; see ``obs.tracing``).
 """
 
+from repro import obs
 from repro.region.fibermap import (
     FiberMap,
     NodeKind,
@@ -30,10 +34,14 @@ from repro.core.planner import IrisPlanner, plan_region
 from repro.cost.pricebook import PriceBook
 from repro.cost.estimator import estimate_cost
 from repro.designs.base import Design, available_designs, get_design
+from repro.obs import SpanRecord, profile_plan
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "obs",
+    "SpanRecord",
+    "profile_plan",
     "FiberMap",
     "NodeKind",
     "OperationalConstraints",

@@ -11,15 +11,52 @@ Subcommands map onto the paper's workflow:
 * ``testbed``   — the Fig 14 reconfiguration/BER experiment
 * ``analyze``   — latency inflation + siting flexibility over an ensemble
 * ``failover``  — a duct-cut drill through the control plane
+
+Any subcommand that accepts ``--trace``/``--trace-json PATH`` runs under
+:mod:`repro.obs` tracing: ``--trace`` prints the span tree (with counters)
+to stderr, ``--trace-json`` writes the trace as JSON lines. Tracing is off
+unless one of the flags is given.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from pathlib import Path
 
 from repro.exceptions import ReproError
+
+
+@contextlib.contextmanager
+def _maybe_traced(args):
+    """Run the command body under tracing when ``--trace*`` was given."""
+    from repro import obs
+
+    if not getattr(args, "trace", False) and not getattr(args, "trace_json", None):
+        yield
+        return
+    with obs.tracing("iris") as tracer:
+        yield
+    record = tracer.record()
+    if args.trace:
+        print(obs.render_tree(record), file=sys.stderr)
+    if args.trace_json:
+        obs.write_trace_json(args.trace_json, record)
+        print(f"wrote trace to {args.trace_json}", file=sys.stderr)
+
+
+def _add_trace_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the span/counter tree to stderr",
+    )
+    parser.add_argument(
+        "--trace-json",
+        metavar="PATH",
+        help="write the trace as JSON lines to PATH",
+    )
 
 
 def _load_region(args):
@@ -89,7 +126,8 @@ def cmd_plan(args) -> int:
     from repro.serialize import plan_to_json
 
     region, _ = _load_region(args)
-    plan = plan_region(region, jobs=args.jobs)
+    with _maybe_traced(args):
+        plan = plan_region(region, jobs=args.jobs)
     print(f"scenarios: {len(plan.topology.scenario_paths)} enumerated "
           f"(of {plan.topology.scenario_count_total} raw)")
     if plan.topology.timings is not None:
@@ -156,7 +194,8 @@ def cmd_sweep(args) -> int:
     points = full_paper_sweep() if args.full else default_mini_sweep()
     if args.limit:
         points = points[: args.limit]
-    records = run_sweep(points, jobs=args.jobs)
+    with _maybe_traced(args):
+        records = run_sweep(points, jobs=args.jobs)
     print(f"{'map':>4}{'n':>4}{'f':>4}{'lam':>5}{'EPS/Iris':>10}"
           f"{'EPS/Hybrid':>12}{'in-net':>8}{'EPS0/Iris2':>12}")
     for r in records:
@@ -185,7 +224,8 @@ def cmd_simulate(args) -> int:
         max_change=None if args.unbounded else args.change,
         seed=args.seed,
     )
-    result = run_comparison(config)
+    with _maybe_traced(args):
+        result = run_comparison(config)
     s = result.summary
     print(f"flows: {s.iris_flows} (unfinished: {s.iris_unfinished})")
     print(f"reconfigurations: {result.reconfigurations}, "
@@ -236,11 +276,16 @@ def cmd_analyze(args) -> int:
 
 def cmd_failover(args) -> int:
     """Duct-cut drill: light circuits, cut, fail over, repair."""
+    region, _ = _load_region(args)
+    with _maybe_traced(args):
+        return _failover_drill(region)
+
+
+def _failover_drill(region) -> int:
     from repro.control.controller import IrisController
     from repro.core.planner import plan_region
     from repro.region.fibermap import duct_key
 
-    region, _ = _load_region(args)
     plan = plan_region(region)
     controller = IrisController(plan)
     dcs = region.dcs
@@ -288,6 +333,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("plan", help="run the Iris planner")
     _add_region_args(p)
     _add_jobs_arg(p)
+    _add_trace_args(p)
     p.add_argument("--out", help="write plan JSON here")
     p.set_defaults(func=cmd_plan)
 
@@ -303,6 +349,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--full", action="store_true", help="run all 240 scenarios")
     p.add_argument("--limit", type=int, default=0, help="only the first N points")
     _add_jobs_arg(p)
+    _add_trace_args(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("simulate", help="flow-level Iris vs EPS comparison")
@@ -314,6 +361,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--change", type=float, default=0.5)
     p.add_argument("--unbounded", action="store_true")
     p.add_argument("--seed", type=int, default=1)
+    _add_trace_args(p)
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("testbed", help="the Fig 14 BER/reconfiguration run")
@@ -329,6 +377,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("failover", help="duct-cut drill via the controller")
     _add_region_args(p)
+    _add_trace_args(p)
     p.set_defaults(func=cmd_failover)
 
     return parser

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
+from repro import obs
 from repro.control.devices import DeviceRegistry, PortLabel, Transport
 from repro.exceptions import ControlPlaneError, DeviceError
 from repro.units import SIGNAL_RECOVERY_TIME_S
@@ -97,54 +98,67 @@ def apply_reconfiguration(
     connections, then verify every target connection actually exists.
     """
     report = ReconfigurationReport(drained_pairs=tuple(drained_pairs))
-    to_disconnect, to_connect = diff_connections(current, target)
-    if not to_disconnect and not to_connect:
+    with obs.span("control.reconfigure") as span:
+        to_disconnect, to_connect = diff_connections(current, target)
+        if not to_disconnect and not to_connect:
+            report.verified = True
+            return report
+
+        if drain_callback is not None:
+            with obs.span("control.reconfigure.drain"):
+                drain_callback(drained_pairs)
+            span.incr("reconfigure.drained_pairs", len(drained_pairs))
+
+        with obs.span("control.reconfigure.disconnect"):
+            for device, in_port, _ in to_disconnect:
+                transport = registry.get(device)
+                _with_retries(
+                    transport,
+                    "disconnect",
+                    in_port,
+                    max_retries=max_retries,
+                    report=report,
+                )
+                report.disconnects += 1
+                report.commands.append(("disconnect", device, in_port))
+
+        switch_time = 0.0
+        with obs.span("control.reconfigure.connect"):
+            for device, in_port, out_port in to_connect:
+                transport = registry.get(device)
+                _with_retries(
+                    transport,
+                    "connect",
+                    in_port,
+                    out_port,
+                    max_retries=max_retries,
+                    report=report,
+                )
+                report.connects += 1
+                report.commands.append(("connect", device, in_port))
+                switch_time = max(switch_time, transport.device.switch_time_s)
+
+        # Verify: every target connection must be present on the device.
+        with obs.span("control.reconfigure.verify"):
+            for device, in_port, out_port in to_connect:
+                transport = registry.get(device)
+                ok = _with_retries(
+                    transport,
+                    "is_connected",
+                    in_port,
+                    out_port,
+                    max_retries=max_retries,
+                    report=report,
+                )
+                if not ok:
+                    raise ControlPlaneError(
+                        f"verification failed: {device} {in_port!r} -> {out_port!r}"
+                    )
         report.verified = True
-        return report
-
-    if drain_callback is not None:
-        drain_callback(drained_pairs)
-
-    for device, in_port, _ in to_disconnect:
-        transport = registry.get(device)
-        _with_retries(
-            transport, "disconnect", in_port, max_retries=max_retries, report=report
-        )
-        report.disconnects += 1
-        report.commands.append(("disconnect", device, in_port))
-
-    switch_time = 0.0
-    for device, in_port, out_port in to_connect:
-        transport = registry.get(device)
-        _with_retries(
-            transport,
-            "connect",
-            in_port,
-            out_port,
-            max_retries=max_retries,
-            report=report,
-        )
-        report.connects += 1
-        report.commands.append(("connect", device, in_port))
-        switch_time = max(switch_time, transport.device.switch_time_s)
-
-    # Verify: every target connection must be present on the device.
-    for device, in_port, out_port in to_connect:
-        transport = registry.get(device)
-        ok = _with_retries(
-            transport,
-            "is_connected",
-            in_port,
-            out_port,
-            max_retries=max_retries,
-            report=report,
-        )
-        if not ok:
-            raise ControlPlaneError(
-                f"verification failed: {device} {in_port!r} -> {out_port!r}"
-            )
-    report.verified = True
-    # OSSes reconfigure in parallel; the data path is back once the slowest
-    # switch settles and receivers recover (50 ms measured, §6.2).
-    report.duration_s = switch_time + SIGNAL_RECOVERY_TIME_S
+        # OSSes reconfigure in parallel; the data path is back once the
+        # slowest switch settles and receivers recover (50 ms, §6.2).
+        report.duration_s = switch_time + SIGNAL_RECOVERY_TIME_S
+        span.incr("reconfigure.connects", report.connects)
+        span.incr("reconfigure.disconnects", report.disconnects)
+        span.incr("reconfigure.retries", report.retries)
     return report

@@ -18,10 +18,18 @@ partition work with :func:`partition` (contiguous, order-preserving) and
 merge with order-independent operations (per-duct maxima), so parallel
 plans are bit-identical to serial ones.
 
+Observability: when global tracing is on (:func:`repro.obs.enabled`), each
+chunk runs under a fresh :func:`repro.obs.capture` — in the worker process
+for :class:`ProcessBackend` — and its finished, picklable span record is
+grafted back into the parent trace in submission order. Counters merge by
+summation, so metric totals are identical whichever backend ran the work.
+With tracing off, the untraced fast path runs exactly the pre-existing
+code, so plan outputs are bit-identical with and without instrumentation.
+
 :class:`PlanTimings` is the instrumentation record attached to every
-:class:`~repro.core.plan.TopologyPlan`: per-phase wall time, scenarios
-evaluated, and the hose-cache hit rate, so benchmarks and the CLI can
-report where planning time goes.
+:class:`~repro.core.plan.TopologyPlan`: a *view* over the planner's span
+tree (per-phase wall time, scenarios evaluated, hose-cache hit rate), so
+benchmarks and the CLI can report where planning time goes.
 """
 
 from __future__ import annotations
@@ -31,7 +39,9 @@ from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence, TypeVar
 
+from repro import obs
 from repro.exceptions import ReproError
+from repro.obs import SpanRecord
 
 T = TypeVar("T")
 
@@ -80,6 +90,24 @@ def partition(items: Sequence[T], n_chunks: int) -> list[list[T]]:
     return out
 
 
+def _traced_chunk(
+    fn: Callable[[Any, list[T]], Any], shared: Any, chunk: list[T]
+) -> tuple[Any, SpanRecord]:
+    """Run one chunk under a fresh capture (module-level: pool-picklable).
+
+    The chunk executes with the capture installed as the active tracer, so
+    facade-instrumented code (per-scenario counters, hose lookups) records
+    into the shard. Returns (result, finished span record); the record
+    crosses the process boundary by pickle and is grafted into the parent
+    trace, preserving submission order.
+    """
+    label = f"engine.chunk:{fn.__name__.lstrip('_').removesuffix('_chunk')}"
+    with obs.capture(label) as tracer:
+        tracer.incr("chunk.items", len(chunk))
+        result = fn(shared, chunk)
+    return result, tracer.record()
+
+
 class SerialBackend:
     """Inline execution: chunks run in the calling process, in order.
 
@@ -97,7 +125,14 @@ class SerialBackend:
         chunks: Sequence[list[T]],
     ) -> list[Any]:
         """Apply ``fn(shared, chunk)`` to every chunk, in order."""
-        return [fn(shared, chunk) for chunk in chunks]
+        if not obs.enabled():
+            return [fn(shared, chunk) for chunk in chunks]
+        out: list[Any] = []
+        for chunk in chunks:
+            result, record = _traced_chunk(fn, shared, chunk)
+            obs.attach(record)
+            out.append(result)
+        return out
 
     def close(self) -> None:
         """Nothing to release."""
@@ -144,14 +179,29 @@ class ProcessBackend:
         chunks = list(chunks)
         if not chunks:
             return []
+        traced = obs.enabled()
         # A single chunk gains nothing from the pool round-trip.
         if len(chunks) == 1:
-            return [fn(shared, chunks[0])]
+            if not traced:
+                return [fn(shared, chunks[0])]
+            result, record = _traced_chunk(fn, shared, chunks[0])
+            obs.attach(record)
+            return [result]
         pool = self._pool()
-        futures: list[Future] = [
-            pool.submit(fn, shared, chunk) for chunk in chunks
+        if not traced:
+            futures: list[Future] = [
+                pool.submit(fn, shared, chunk) for chunk in chunks
+            ]
+            return [future.result() for future in futures]
+        traced_futures: list[Future] = [
+            pool.submit(_traced_chunk, fn, shared, chunk) for chunk in chunks
         ]
-        return [future.result() for future in futures]
+        out: list[Any] = []
+        for future in traced_futures:
+            result, record = future.result()
+            obs.attach(record)
+            out.append(result)
+        return out
 
     def close(self) -> None:
         """Shut down the pool (idempotent)."""
@@ -216,6 +266,10 @@ def map_in_chunks(
 class PlanTimings:
     """Where Algorithm 1's wall time went (attached to every topology plan).
 
+    Since the :mod:`repro.obs` layer landed, the planner records its phases
+    as spans and this record is a *view* over the resulting span tree
+    (built by :meth:`from_record`); the public fields are unchanged.
+
     ``enumerate_s`` / ``capacity_s``
         Wall time of the scenario-path enumeration (per-scenario Dijkstra)
         and the per-duct hose max-flow phases.
@@ -240,6 +294,31 @@ class PlanTimings:
     hose_cache_misses: int
     backend: str = "serial"
     jobs: int = 1
+
+    @classmethod
+    def from_record(
+        cls, record: SpanRecord, backend: str = "serial", jobs: int = 1
+    ) -> "PlanTimings":
+        """Build the timing view from a ``plan.topology`` span record.
+
+        Phase wall times come from the ``plan.enumerate`` / ``plan.capacity``
+        child spans; the authoritative counts come from the counters the
+        planner sets on the record (``scenarios.evaluated``,
+        ``hose.cache_hits``, ``hose.cache_misses``).
+        """
+        enum = record.child("plan.enumerate")
+        capacity = record.child("plan.capacity")
+        counters = record.counters
+        return cls(
+            enumerate_s=enum.duration_s if enum else 0.0,
+            capacity_s=capacity.duration_s if capacity else 0.0,
+            total_s=record.duration_s,
+            scenarios_evaluated=int(counters.get("scenarios.evaluated", 0)),
+            hose_cache_hits=int(counters.get("hose.cache_hits", 0)),
+            hose_cache_misses=int(counters.get("hose.cache_misses", 0)),
+            backend=backend,
+            jobs=jobs,
+        )
 
     @property
     def hose_cache_hit_rate(self) -> float:

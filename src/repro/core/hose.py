@@ -15,6 +15,7 @@ import os
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
+from repro import obs
 from repro.region.fibermap import Duct, duct_key
 
 
@@ -141,6 +142,8 @@ def hose_capacity(
     value = cache.entries.get(key)
     if value is not None:
         cache.hits += 1
+        if obs.enabled():
+            _record_lookup(value, hit=True)
         return value
     cache.misses += 1
     value = _hose_max_flow(*key)
@@ -150,7 +153,23 @@ def hose_capacity(
         # recency tracking buys nothing over this.
         cache.entries.pop(next(iter(cache.entries)))
     cache.entries[key] = value
+    if obs.enabled():
+        _record_lookup(value, hit=False)
     return value
+
+
+def _record_lookup(value: int, hit: bool) -> None:
+    """Trace one hose lookup (only called when tracing is enabled).
+
+    ``hose.lookups`` and the ``hose.flow.fibers[...]`` distribution count
+    every lookup, so their totals are invariant to chunking and worker
+    count (each (edge, scenario) is looked up exactly once per plan); the
+    hit/miss split depends on per-process cache warmth and is *not*
+    expected to match across ``jobs=`` settings.
+    """
+    obs.incr("hose.lookups")
+    obs.incr("hose.cache_hit" if hit else "hose.cache_miss")
+    obs.incr(f"hose.flow.fibers[{obs.bucket_label(value)}]")
 
 
 def _hose_max_flow(

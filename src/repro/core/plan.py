@@ -18,6 +18,7 @@ from typing import Mapping, Sequence
 
 from repro.cost.estimator import Inventory
 from repro.core.engine import PlanTimings
+from repro.obs import SpanRecord
 from repro.exceptions import PlanningError
 from repro.optics.constraints import PathProfile, violations
 from repro.region.fibermap import Duct, FiberMap, RegionSpec, duct_key
@@ -158,12 +159,20 @@ class TopologyPlan:
         Where planning wall time went (:class:`~repro.core.engine.PlanTimings`).
         Instrumentation only: excluded from equality so serial and parallel
         plans of the same region compare equal.
+    ``trace``
+        The ``plan.topology`` span tree this plan was produced under
+        (:class:`~repro.obs.SpanRecord`): coarse phase spans by default,
+        full per-chunk detail when planned inside :func:`repro.obs.tracing`.
+        Instrumentation only, like ``timings``: excluded from equality and
+        ``repr`` so traced and untraced plans compare equal and test diffs
+        stay readable.
     """
 
     edge_capacity: Mapping[Duct, int]
     scenario_paths: Mapping[Scenario, Mapping[Pair, tuple[str, ...]]]
     scenario_count_total: int
     timings: PlanTimings | None = field(default=None, compare=False, repr=False)
+    trace: SpanRecord | None = field(default=None, compare=False, repr=False)
 
     @property
     def scenarios(self) -> list[Scenario]:

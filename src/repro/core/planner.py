@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.amplifiers import place_amplifiers
 from repro.core.cutthrough import place_cut_throughs
 from repro.core.plan import IrisPlan, TopologyPlan
@@ -54,14 +55,21 @@ class IrisPlanner:
 
     def plan_from_topology(self, topology: TopologyPlan) -> IrisPlan:
         """Complete the optical realization on a precomputed topology."""
-        distance_amps, effective = place_amplifiers(self.region, topology)
-        cut_throughs, effective, amplifiers = place_cut_throughs(
-            self.region,
-            effective,
-            site_counts=distance_amps.site_counts,
-            assignments=distance_amps.assignments,
-        )
-        residual = residual_fiber_pairs(self.region, topology)
+        with obs.span("plan.amplifiers") as span:
+            distance_amps, effective = place_amplifiers(self.region, topology)
+            span.incr("amplifiers.distance_sites", len(distance_amps.site_counts))
+        with obs.span("plan.cutthrough") as span:
+            cut_throughs, effective, amplifiers = place_cut_throughs(
+                self.region,
+                effective,
+                site_counts=distance_amps.site_counts,
+                assignments=distance_amps.assignments,
+            )
+            span.incr("cutthrough.links", len(cut_throughs))
+            span.incr("amplifiers.sites", len(amplifiers.site_counts))
+        with obs.span("plan.residual") as span:
+            residual = residual_fiber_pairs(self.region, topology)
+            span.incr("residual.fiber_pairs", sum(residual.values()))
         plan = IrisPlan(
             region=self.region,
             topology=topology,
@@ -71,7 +79,10 @@ class IrisPlanner:
             effective_paths=effective,
         )
         if self.validate:
-            problems = plan.validate()
+            with obs.span("plan.validate") as span:
+                problems = plan.validate()
+                span.incr("validate.paths", len(plan.effective_paths))
+                span.incr("validate.violations", len(problems))
             if problems:
                 raise PlanningError(
                     "planned network violates constraints: "

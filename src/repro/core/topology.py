@@ -23,11 +23,11 @@ bit-identical to serial ones.
 from __future__ import annotations
 
 import itertools
-import time
 from typing import Mapping, Sequence
 
 import networkx as nx
 
+from repro import obs
 from repro.core.engine import (
     ExecutionBackend,
     PlanTimings,
@@ -108,6 +108,7 @@ def _paths_chunk(
 ) -> list[dict[Pair, tuple[str, ...]]]:
     """Worker: evaluate one chunk of scenarios (module-level for pickling)."""
     fmap, sla_fiber_km = shared
+    obs.incr("paths.scenarios", len(scenarios))
     return [
         compute_scenario_paths(fmap, scenario, sla_fiber_km)
         for scenario in scenarios
@@ -152,13 +153,21 @@ def enumerate_scenario_paths(
             for k in range(tolerance + 1)
             for combo in itertools.combinations(fmap.ducts, k)
         ]
-        evaluated = _evaluate_scenarios(backend, fmap, scenarios, sla_fiber_km)
+        with obs.span("plan.enumerate.brute") as span:
+            span.incr("level.scenarios", len(scenarios))
+            evaluated = _evaluate_scenarios(
+                backend, fmap, scenarios, sla_fiber_km
+            )
         return dict(zip(scenarios, evaluated)), total_raw
 
     frontier: list[Scenario] = [Scenario()]
     seen: set[Scenario] = {Scenario()}
     for level in range(tolerance + 1):
-        evaluated = _evaluate_scenarios(backend, fmap, frontier, sla_fiber_km)
+        with obs.span(f"plan.enumerate.level[{level}]") as span:
+            span.incr("level.scenarios", len(frontier))
+            evaluated = _evaluate_scenarios(
+                backend, fmap, frontier, sla_fiber_km
+            )
         next_frontier: list[Scenario] = []
         for scenario, paths in zip(frontier, evaluated):
             results[scenario] = paths
@@ -221,58 +230,78 @@ def plan_topology(
     plan is bit-identical across backends; the attached
     :class:`~repro.core.engine.PlanTimings` records which backend ran and
     where the time went.
+
+    Phases are timed as :mod:`repro.obs` spans. With global tracing off, a
+    private tracer records only the coarse phase spans feeding the
+    ``PlanTimings`` view; with :func:`repro.obs.tracing` active, the same
+    spans nest into the caller's trace along with per-level, per-chunk,
+    and per-hose-lookup detail.
     """
-    t_start = time.perf_counter()
+    tracer = obs.current()
+    if tracer is None:
+        # Coarse-only local trace: phase spans for PlanTimings, none of
+        # the fine-grained facade instrumentation fires.
+        tracer = obs.Tracer("plan")
     constraints = region.constraints
-    # Ducts beyond point-to-point reach are useless under any switching
-    # (TC1); ducts beyond the Iris per-run budget (fiber + the two endpoint
-    # OSS traversals, see IRIS_MAX_DUCT_KM) are useless to an all-optical
-    # path under any routing, so they are pruned too.
-    usable_km = min(constraints.max_span_km, IRIS_MAX_DUCT_KM)
-    fmap = prune_overlong_ducts(region.fiber_map, usable_km)
 
-    with get_backend(jobs) as backend:
-        t_enum = time.perf_counter()
-        scenario_paths, total_raw = enumerate_scenario_paths(
-            fmap,
-            constraints.failure_tolerance,
-            sla_fiber_km=constraints.sla_fiber_km,
-            prune=prune_enumeration,
-            backend=backend,
-        )
-        t_capacity = time.perf_counter()
+    with tracer.span("plan.topology") as top:
+        # Ducts beyond point-to-point reach are useless under any switching
+        # (TC1); ducts beyond the Iris per-run budget (fiber + the two
+        # endpoint OSS traversals, see IRIS_MAX_DUCT_KM) are useless to an
+        # all-optical path under any routing, so they are pruned too.
+        with tracer.span("plan.prune") as span:
+            usable_km = min(constraints.max_span_km, IRIS_MAX_DUCT_KM)
+            fmap = prune_overlong_ducts(region.fiber_map, usable_km)
+            span.incr("prune.ducts_dropped",
+                      len(region.fiber_map.ducts) - len(fmap.ducts))
 
-        # Different scenarios mostly reroute a few pairs, so the oriented
-        # pair set of an edge recurs across scenarios: the per-process hose
-        # cache memoizes the max-flow per set. Chunk results merge by
-        # per-duct maximum, so chunking cannot change the outcome.
-        edge_capacity: dict[Duct, int] = {}
-        hits = misses = 0
-        path_sets = list(scenario_paths.values())
-        chunks = partition(path_sets, max(1, backend.jobs * 4)) if path_sets else []
-        for chunk_caps, chunk_hits, chunk_misses in backend.run_chunks(
-            _capacity_chunk, region.dc_fibers, chunks
-        ):
-            hits += chunk_hits
-            misses += chunk_misses
-            for edge, needed in chunk_caps.items():
-                if needed > edge_capacity.get(edge, 0):
-                    edge_capacity[edge] = needed
-        t_end = time.perf_counter()
+        with get_backend(jobs) as backend:
+            with tracer.span("plan.enumerate"):
+                scenario_paths, total_raw = enumerate_scenario_paths(
+                    fmap,
+                    constraints.failure_tolerance,
+                    sla_fiber_km=constraints.sla_fiber_km,
+                    prune=prune_enumeration,
+                    backend=backend,
+                )
 
-    timings = PlanTimings(
-        enumerate_s=t_capacity - t_enum,
-        capacity_s=t_end - t_capacity,
-        total_s=t_end - t_start,
-        scenarios_evaluated=len(scenario_paths),
-        hose_cache_hits=hits,
-        hose_cache_misses=misses,
-        backend=backend.name,
-        jobs=backend.jobs,
+            # Different scenarios mostly reroute a few pairs, so the
+            # oriented pair set of an edge recurs across scenarios: the
+            # per-process hose cache memoizes the max-flow per set. Chunk
+            # results merge by per-duct maximum, so chunking cannot change
+            # the outcome.
+            with tracer.span("plan.capacity"):
+                edge_capacity: dict[Duct, int] = {}
+                hits = misses = 0
+                path_sets = list(scenario_paths.values())
+                chunks = (
+                    partition(path_sets, max(1, backend.jobs * 4))
+                    if path_sets
+                    else []
+                )
+                for chunk_caps, chunk_hits, chunk_misses in backend.run_chunks(
+                    _capacity_chunk, region.dc_fibers, chunks
+                ):
+                    hits += chunk_hits
+                    misses += chunk_misses
+                    for edge, needed in chunk_caps.items():
+                        if needed > edge_capacity.get(edge, 0):
+                            edge_capacity[edge] = needed
+
+        # Authoritative plan-level aggregates (distinct names from the
+        # per-lookup event counters recorded inside chunk shards, so tree
+        # totals never double-count): the PlanTimings view reads these.
+        top.incr("scenarios.evaluated", len(scenario_paths))
+        top.incr("hose.cache_hits", hits)
+        top.incr("hose.cache_misses", misses)
+
+    timings = PlanTimings.from_record(
+        top.record, backend=backend.name, jobs=backend.jobs
     )
     return TopologyPlan(
         edge_capacity=edge_capacity,
         scenario_paths=scenario_paths,
         scenario_count_total=total_raw,
         timings=timings,
+        trace=top.record,
     )

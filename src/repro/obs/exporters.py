@@ -1,0 +1,171 @@
+"""Trace exporters: human tree, JSON (lines), CSV rows, dict round-trip.
+
+All exporters order output deterministically (tree order for renders,
+sorted counter names everywhere). Durations are included for humans and
+profiling tools but must never be compared across runs; exporters that
+feed golden tests (:func:`aggregate` + counter totals) expose counters and
+span names only.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.exceptions import ReproError
+from repro.obs.tracer import SpanRecord, merge_counters
+
+
+def record_to_dict(record: SpanRecord, include_durations: bool = True) -> dict:
+    """Plain-dict form of a span tree (JSON-ready).
+
+    With ``include_durations=False`` the output is deterministic for a
+    deterministic workload: names, counts, and counters only.
+    """
+    out: dict[str, Any] = {"name": record.name, "count": record.count}
+    if include_durations:
+        out["duration_s"] = record.duration_s
+    if record.counters:
+        out["counters"] = {k: record.counters[k] for k in sorted(record.counters)}
+    if record.children:
+        out["children"] = [
+            record_to_dict(child, include_durations) for child in record.children
+        ]
+    return out
+
+
+def record_from_dict(data: dict) -> SpanRecord:
+    """Inverse of :func:`record_to_dict` (missing durations become 0)."""
+    try:
+        return SpanRecord(
+            name=data["name"],
+            duration_s=float(data.get("duration_s", 0.0)),
+            count=int(data.get("count", 1)),
+            counters=dict(data.get("counters", {})),
+            children=[record_from_dict(c) for c in data.get("children", [])],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"malformed span record data: {exc}") from exc
+
+
+def render_tree(record: SpanRecord, include_durations: bool = True) -> str:
+    """An indented, human-readable span tree with counters.
+
+    Example::
+
+        plan.topology  12.3 ms  [scenarios.evaluated=217]
+          plan.enumerate  8.1 ms
+            engine.chunk:paths  2.0 ms  [chunk.items=55, paths.scenarios=55]
+    """
+    lines: list[str] = []
+
+    def emit(rec: SpanRecord, depth: int) -> None:
+        parts = [f"{'  ' * depth}{rec.name}"]
+        if rec.count != 1:
+            parts.append(f"x{rec.count}")
+        if include_durations:
+            parts.append(_fmt_duration(rec.duration_s))
+        if rec.counters:
+            body = ", ".join(
+                f"{name}={_fmt_value(rec.counters[name])}"
+                for name in sorted(rec.counters)
+            )
+            parts.append(f"[{body}]")
+        lines.append("  ".join(parts))
+        for child in rec.children:
+            emit(child, depth + 1)
+
+    emit(record, 0)
+    return "\n".join(lines)
+
+
+def to_json_lines(record: SpanRecord, include_durations: bool = True) -> str:
+    """One JSON object per span, depth-first, with a ``path`` breadcrumb.
+
+    The line stream is convenient for ``jq``-style slicing of large traces
+    (one plan can produce thousands of chunk spans).
+    """
+    lines: list[str] = []
+
+    def emit(rec: SpanRecord, path: str) -> None:
+        here = f"{path}/{rec.name}" if path else rec.name
+        row: dict[str, Any] = {"path": here, "count": rec.count}
+        if include_durations:
+            row["duration_s"] = rec.duration_s
+        row["counters"] = {k: rec.counters[k] for k in sorted(rec.counters)}
+        lines.append(json.dumps(row, sort_keys=True))
+        for child in rec.children:
+            emit(child, here)
+
+    emit(record, "")
+    return "\n".join(lines) + "\n"
+
+
+@dataclass(frozen=True)
+class PhaseRow:
+    """One aggregated per-span-name row (the benchmark CSV unit)."""
+
+    name: str
+    total_s: float
+    count: int
+    counters: dict[str, float]
+
+
+def aggregate(record: SpanRecord) -> list[PhaseRow]:
+    """Collapse a trace by span name: total duration, count, counters.
+
+    Rows come out in first-appearance (depth-first) order, so the plan
+    phases read top-down the way they executed.
+    """
+    order: list[str] = []
+    totals: dict[str, list] = {}
+    for rec in record.walk():
+        if rec.name not in totals:
+            order.append(rec.name)
+            totals[rec.name] = [0.0, 0, {}]
+        entry = totals[rec.name]
+        entry[0] += rec.duration_s
+        entry[1] += rec.count
+        merge_counters(entry[2], rec.counters)
+    return [
+        PhaseRow(name=name, total_s=totals[name][0], count=totals[name][1],
+                 counters=totals[name][2])
+        for name in order
+    ]
+
+
+def to_csv_rows(record: SpanRecord) -> list[list[str]]:
+    """Aggregated per-phase CSV (header row first).
+
+    Counter columns are the union of all counter names, sorted, so every
+    row has the same width — ready for ``csv.writer``.
+    """
+    rows = aggregate(record)
+    counter_names = sorted({name for row in rows for name in row.counters})
+    header = ["phase", "total_s", "count", *counter_names]
+    out = [header]
+    for row in rows:
+        out.append(
+            [row.name, f"{row.total_s:.6f}", str(row.count)]
+            + [_fmt_value(row.counters.get(name, 0)) for name in counter_names]
+        )
+    return out
+
+
+def write_trace_json(path: str, record: SpanRecord) -> None:
+    """Write a trace as JSON lines to ``path`` (the ``--trace-json`` sink)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_json_lines(record))
+
+
+def _fmt_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    return f"{seconds * 1000:.1f} ms"
+
+
+def _fmt_value(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.3f}"

@@ -1,0 +1,323 @@
+"""Hierarchical spans and counters: the core of :mod:`repro.obs`.
+
+A :class:`Tracer` owns one span tree for one traced activity (a plan, a
+sweep, a simulation). Open spans form a stack — ``with tracer.span(name)``
+pushes, exiting pops — so finished trees are always well-nested. Each span
+accumulates named counters; counter totals merge by summation, which is
+associative and commutative, so shards recorded in worker processes can be
+grafted back into the parent trace in any order without changing totals.
+
+Three access levels, cheapest first:
+
+* **Disabled (default).** The module-level facade (:func:`span`,
+  :func:`incr`, :func:`enabled`) is a no-op: :func:`span` returns a shared
+  :data:`NULL_SPAN` singleton whose methods do nothing, so instrumented hot
+  paths pay one global read and nothing else.
+* **Local tracer.** Code that always wants coarse timings (the planner's
+  phase breakdown behind :class:`~repro.core.engine.PlanTimings`) creates
+  its own :class:`Tracer` and calls ``tracer.span(...)`` explicitly,
+  without enabling the global facade — fine-grained instrumentation stays
+  off.
+* **Global tracing.** ``with tracing() as tracer:`` installs a tracer as
+  the process-wide active one; every facade call in the block records into
+  it, including per-chunk worker shards shipped back across the process
+  pool (see :func:`capture` and :meth:`Tracer.attach`).
+
+Durations come from :func:`time.perf_counter` (monotonic). Exporters and
+tests that compare trace *content* must compare names and counters only —
+never durations, which vary run to run.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.exceptions import ReproError
+
+
+class ObsError(ReproError):
+    """Misuse of the observability layer (bad nesting, negative counts)."""
+
+
+@dataclass
+class SpanRecord:
+    """One finished span: a picklable, mergeable tree node.
+
+    ``name``
+        Dotted span label (``plan.topology``, ``engine.chunk:paths``).
+    ``duration_s``
+        Monotonic-clock wall time between enter and exit. Never compare
+        this across runs; it exists for profiling output only.
+    ``count``
+        How many raw spans this record stands for (1 until records are
+        collapsed by :func:`repro.obs.exporters.aggregate`).
+    ``counters``
+        Named non-negative totals accumulated while the span was open.
+    ``children``
+        Sub-spans in completion order, including worker shards grafted in
+        by :meth:`Tracer.attach`.
+    """
+
+    name: str
+    duration_s: float = 0.0
+    count: int = 1
+    counters: dict[str, float] = field(default_factory=dict)
+    children: list["SpanRecord"] = field(default_factory=list)
+
+    def walk(self) -> Iterator["SpanRecord"]:
+        """This record and every descendant, depth-first, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def child(self, name: str) -> "SpanRecord | None":
+        """The first direct child named ``name`` (or ``None``)."""
+        for child in self.children:
+            if child.name == name:
+                return child
+        return None
+
+    def find(self, name: str) -> list["SpanRecord"]:
+        """Every record in the tree (including self) named ``name``."""
+        return [rec for rec in self.walk() if rec.name == name]
+
+    def total(self, counter: str) -> float:
+        """Sum of ``counter`` over the whole tree.
+
+        Counters merge by summation, so this total is independent of how
+        the work was chunked or which process recorded each shard.
+        """
+        return sum(rec.counters.get(counter, 0) for rec in self.walk())
+
+    def counter_totals(self, prefix: str = "") -> dict[str, float]:
+        """All counter totals over the tree, optionally prefix-filtered."""
+        out: dict[str, float] = {}
+        for rec in self.walk():
+            for name, value in rec.counters.items():
+                if name.startswith(prefix):
+                    out[name] = out.get(name, 0) + value
+        return out
+
+    def n_spans(self) -> int:
+        """Number of records in the tree (self included)."""
+        return sum(1 for _ in self.walk())
+
+
+def merge_counters(
+    into: dict[str, float], other: dict[str, float]
+) -> dict[str, float]:
+    """Merge ``other``'s counters into ``into`` (summing) and return it.
+
+    Summation is associative and commutative: merging worker shards in any
+    grouping or order yields the same totals (property-tested).
+    """
+    for name, value in other.items():
+        into[name] = into.get(name, 0) + value
+    return into
+
+
+class Span:
+    """An open span: a context manager that finishes its record on exit."""
+
+    __slots__ = ("record", "_tracer", "_t0")
+
+    def __init__(self, record: SpanRecord, tracer: "Tracer") -> None:
+        self.record = record
+        self._tracer = tracer
+        self._t0 = 0.0
+
+    def incr(self, name: str, n: float = 1) -> None:
+        """Add ``n`` (non-negative) to this span's ``name`` counter."""
+        if n < 0:
+            raise ObsError(f"counter {name!r} increment must be >= 0, got {n}")
+        counters = self.record.counters
+        counters[name] = counters.get(name, 0) + n
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.record.duration_s = time.perf_counter() - self._t0
+        self._tracer._pop(self)
+
+
+class _NullSpan:
+    """The disabled-tracing fast path: every operation is a no-op."""
+
+    __slots__ = ()
+
+    def incr(self, name: str, n: float = 1) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+
+#: Shared no-op span returned by the facade when tracing is disabled.
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """One span tree under construction.
+
+    The root span opens at construction and closes at :meth:`finish` (or
+    the first :meth:`record` call); :meth:`span` opens children under the
+    innermost open span.
+    """
+
+    def __init__(self, name: str = "trace") -> None:
+        self._root = SpanRecord(name=name)
+        self._t0 = time.perf_counter()
+        self._stack: list[Span] = []
+        self._finished = False
+
+    # -- span lifecycle ----------------------------------------------------
+
+    def span(self, name: str) -> Span:
+        """A new child span of the innermost open span (enter to start)."""
+        return Span(SpanRecord(name=name), self)
+
+    def _push(self, span: Span) -> None:
+        if self._finished:
+            raise ObsError("tracer already finished")
+        parent = self._stack[-1].record if self._stack else self._root
+        parent.children.append(span.record)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise ObsError(f"span {span.record.name!r} closed out of order")
+        self._stack.pop()
+
+    def incr(self, name: str, n: float = 1) -> None:
+        """Add ``n`` to the innermost open span's (or root's) counter."""
+        if n < 0:
+            raise ObsError(f"counter {name!r} increment must be >= 0, got {n}")
+        record = self._stack[-1].record if self._stack else self._root
+        record.counters[name] = record.counters.get(name, 0) + n
+
+    def attach(self, record: SpanRecord) -> None:
+        """Graft a finished shard (e.g. from a worker process) as a child."""
+        parent = self._stack[-1].record if self._stack else self._root
+        parent.children.append(record)
+
+    # -- completion --------------------------------------------------------
+
+    def finish(self) -> None:
+        """Close the root span (idempotent; open children are an error)."""
+        if self._finished:
+            return
+        if self._stack:
+            raise ObsError(
+                f"cannot finish tracer with open span "
+                f"{self._stack[-1].record.name!r}"
+            )
+        self._root.duration_s = time.perf_counter() - self._t0
+        self._finished = True
+
+    def record(self) -> SpanRecord:
+        """The finished root record (finishes the tracer if needed)."""
+        self.finish()
+        return self._root
+
+
+# -- global facade ---------------------------------------------------------
+
+_ACTIVE: Tracer | None = None
+
+
+def enabled() -> bool:
+    """Whether global tracing is on (a tracer is installed)."""
+    return _ACTIVE is not None
+
+
+def current() -> Tracer | None:
+    """The installed tracer, or ``None`` when tracing is disabled."""
+    return _ACTIVE
+
+
+def span(name: str):
+    """A span on the active tracer, or :data:`NULL_SPAN` when disabled."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name)
+
+
+def incr(name: str, n: float = 1) -> None:
+    """Bump a counter on the active tracer's innermost span (no-op off)."""
+    tracer = _ACTIVE
+    if tracer is not None:
+        tracer.incr(name, n)
+
+
+def attach(record: SpanRecord | None) -> None:
+    """Graft a worker shard into the active trace (no-op when disabled)."""
+    tracer = _ACTIVE
+    if tracer is not None and record is not None:
+        tracer.attach(record)
+
+
+@contextmanager
+def tracing(name: str = "trace") -> Iterator[Tracer]:
+    """Enable global tracing for the block; yields the installed tracer.
+
+    Nested ``tracing`` blocks stack: the inner tracer records alone until
+    it exits, then the outer one resumes (the inner tree is *not* grafted
+    automatically). After the block, read results via ``tracer.record()``.
+    """
+    global _ACTIVE
+    prev = _ACTIVE
+    tracer = Tracer(name)
+    _ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE = prev
+        tracer.finish()
+
+
+@contextmanager
+def capture(name: str) -> Iterator[Tracer]:
+    """A fresh, self-contained capture, regardless of the active tracer.
+
+    Used on the worker side of a process pool: the chunk runs under its
+    own tracer whose finished record is returned (pickled) to the parent,
+    which grafts it with :func:`attach`. Inside the block the capture is
+    the globally active tracer, so facade-instrumented code records into
+    the shard.
+    """
+    global _ACTIVE
+    prev = _ACTIVE
+    tracer = Tracer(name)
+    _ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE = prev
+        tracer.finish()
+
+
+#: Bounded power-of-two histogram buckets for value distributions.
+_BUCKET_BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+def bucket_label(value: float) -> str:
+    """The bounded power-of-two bucket a value falls in (``le_N``/``gt_256``).
+
+    Distribution counters (``hose.flow.fibers[le_8]`` etc.) use these
+    labels so the counter namespace stays finite and shard merges stay
+    associative no matter how values are spread across workers.
+    """
+    for bound in _BUCKET_BOUNDS:
+        if value <= bound:
+            return f"le_{bound}"
+    return f"gt_{_BUCKET_BOUNDS[-1]}"

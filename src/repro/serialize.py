@@ -3,6 +3,15 @@
 Regions round-trip exactly. Plans serialize to an audit-friendly summary
 (provisioning per duct, amplifier sites, cut-throughs, costs) — the planner
 is deterministic, so a plan is always recoverable from its region.
+
+Instrumentation attached to a plan (:class:`~repro.core.engine.PlanTimings`
+and the :class:`~repro.obs.SpanRecord` trace) is handled explicitly rather
+than leaking through: the default summary includes only timing fields that
+are invariant to execution environment (scenario and hose-lookup counts),
+so serializing the same region's plan is byte-identical across repeated
+runs, worker counts, and cache warmth. Backend identity, the cache
+hit/miss split, wall-clock seconds, and the full span tree are opt-in via
+``include_runtime`` / ``include_trace``.
 """
 
 from __future__ import annotations
@@ -10,8 +19,10 @@ from __future__ import annotations
 import json
 from typing import Any
 
+from repro.core.engine import PlanTimings
 from repro.core.plan import IrisPlan
 from repro.exceptions import ReproError
+from repro.obs import record_to_dict
 from repro.region.fibermap import (
     FiberMap,
     NodeKind,
@@ -98,9 +109,46 @@ def region_from_json(text: str) -> RegionSpec:
         raise ReproError(f"malformed region data: {exc}") from exc
 
 
-def plan_to_dict(plan: IrisPlan) -> dict[str, Any]:
-    """Audit summary of an Iris plan."""
-    return {
+def timings_to_dict(
+    timings: PlanTimings, include_runtime: bool = False
+) -> dict[str, Any]:
+    """Explicit serialization of a plan's timing instrumentation.
+
+    The default output holds only fields invariant to the execution
+    environment: scenario count and total hose lookups (the cache
+    hit/miss *split* shifts with worker count and cache warmth, but
+    their sum does not). ``include_runtime`` adds the run-specific
+    fields — backend identity, the hit/miss split, and wall-clock
+    seconds — so audit files diff cleanly by default.
+    """
+    out: dict[str, Any] = {
+        "scenarios_evaluated": timings.scenarios_evaluated,
+        "hose_lookups": timings.hose_cache_hits + timings.hose_cache_misses,
+    }
+    if include_runtime:
+        out["backend"] = timings.backend
+        out["jobs"] = timings.jobs
+        out["hose_cache_hits"] = timings.hose_cache_hits
+        out["hose_cache_misses"] = timings.hose_cache_misses
+        out["enumerate_s"] = timings.enumerate_s
+        out["capacity_s"] = timings.capacity_s
+        out["total_s"] = timings.total_s
+    return out
+
+
+def plan_to_dict(
+    plan: IrisPlan,
+    include_trace: bool = False,
+    include_runtime: bool = False,
+) -> dict[str, Any]:
+    """Audit summary of an Iris plan.
+
+    Timings and the span trace never leak implicitly: the ``timings``
+    block carries environment-invariant fields only (see
+    :func:`timings_to_dict`), and the full span tree appears solely when
+    ``include_trace=True``.
+    """
+    out: dict[str, Any] = {
         "format_version": FORMAT_VERSION,
         "base_capacity": {
             f"{u}~{v}": cap for (u, v), cap in sorted(plan.topology.edge_capacity.items())
@@ -121,8 +169,29 @@ def plan_to_dict(plan: IrisPlan) -> dict[str, Any]:
         "scenarios_total": plan.topology.scenario_count_total,
         "total_fiber_pair_spans": plan.total_fiber_pair_spans(),
     }
+    if plan.topology.timings is not None:
+        out["timings"] = timings_to_dict(
+            plan.topology.timings, include_runtime=include_runtime
+        )
+    if include_trace and plan.topology.trace is not None:
+        out["trace"] = record_to_dict(
+            plan.topology.trace, include_durations=include_runtime
+        )
+    return out
 
 
-def plan_to_json(plan: IrisPlan, indent: int | None = 2) -> str:
-    """Serialize a plan summary to JSON."""
-    return json.dumps(plan_to_dict(plan), indent=indent)
+def plan_to_json(
+    plan: IrisPlan,
+    indent: int | None = 2,
+    include_trace: bool = False,
+    include_runtime: bool = False,
+) -> str:
+    """Serialize a plan summary to JSON (deterministic by default)."""
+    return json.dumps(
+        plan_to_dict(
+            plan,
+            include_trace=include_trace,
+            include_runtime=include_runtime,
+        ),
+        indent=indent,
+    )

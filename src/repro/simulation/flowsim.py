@@ -21,6 +21,7 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
+from repro import obs
 from repro.exceptions import SimulationError
 
 Pair = tuple[str, str]
@@ -189,6 +190,16 @@ class FluidSimulator:
     ) -> list[FlowRecord]:
         """Simulate the flow trace; returns one record per flow (records
         with infinite ``t_finish`` were still in flight at the end)."""
+        with obs.span("flowsim.run") as span:
+            records = self._run(flows, end_time, span)
+        return records
+
+    def _run(
+        self,
+        flows: Iterable[tuple[float, str, str, int]],
+        end_time: float | None,
+        span,
+    ) -> list[FlowRecord]:
         arrivals = sorted(flows, key=lambda f: f[0])
         for t, src, dst, size in arrivals:
             if size <= 0:
@@ -204,6 +215,8 @@ class FluidSimulator:
         ai = 0  # next arrival index
         ci = 0  # next capacity event index
         rates_dirty = True
+        n_steps = 0
+        n_recomputes = 0
 
         def recompute() -> None:
             counts = {p: s.count for p, s in pairs.items()}
@@ -223,6 +236,8 @@ class FluidSimulator:
             if rates_dirty:
                 recompute()
                 rates_dirty = False
+                n_recomputes += 1
+            n_steps += 1
 
             t_arrival = arrivals[ai][0] if ai < len(arrivals) else INF
             t_capacity = cap_events[ci][0] if ci < len(cap_events) else INF
@@ -297,4 +312,10 @@ class FluidSimulator:
                     )
                 )
         records.sort(key=lambda r: (r.t_arrive, r.t_finish))
+        span.incr("flowsim.flows", len(arrivals))
+        span.incr("flowsim.steps", n_steps)
+        span.incr("flowsim.rate_recomputes", n_recomputes)
+        span.incr("flowsim.completions",
+                  sum(1 for r in records if r.finished))
+        span.incr("flowsim.capacity_events", ci)
         return records

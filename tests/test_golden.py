@@ -9,6 +9,8 @@ Update the constants deliberately when a change is intentional.
 
 import pytest
 
+from repro import obs
+from repro.core.hose import clear_hose_cache
 from repro.core.planner import plan_region
 from repro.cost.estimator import estimate_cost
 from repro.designs.eps import eps_inventory
@@ -48,3 +50,52 @@ class TestGoldenRegion:
         assert inv.dc_transceivers == 5 * 8 * 40
         assert inv.fiber_pair_spans == 568  # 528 base + 40 residual
         assert inv.oss_ports == 4 * 568 + 2 * 72
+
+
+class TestGoldenObservability:
+    """Pinned observability counts for the same region at jobs=1.
+
+    The work metrics are as deterministic as the plan itself — a change
+    here means the planner is *doing* different work (extra hose
+    evaluations, a different enumeration), even if the plan output is
+    unchanged. The cache hit/miss split is pinned from a cold per-process
+    cache, hence the explicit ``clear_hose_cache``.
+    """
+
+    @pytest.fixture(scope="class")
+    def traced_plan(self):
+        instance = make_region(map_index=0, n_dcs=5, dc_fibers=8)
+        clear_hose_cache()
+        with obs.tracing("golden") as tracer:
+            plan = plan_region(instance.spec, jobs=1)
+        return plan, tracer.record()
+
+    def test_timings_view(self, traced_plan):
+        plan, _ = traced_plan
+        timings = plan.topology.timings
+        assert timings.scenarios_evaluated == 217
+        assert timings.hose_cache_hits == 4355  # capacity phase, cold cache
+        assert timings.hose_cache_misses == 78
+
+    def test_trace_work_totals(self, traced_plan):
+        _, record = traced_plan
+        assert record.total("paths.scenarios") == 217
+        assert record.total("scenarios.evaluated") == 217
+        assert record.total("hose.lookups") == 15762  # enumerate + capacity
+
+    def test_flow_value_distribution(self, traced_plan):
+        _, record = traced_plan
+        assert record.counter_totals("hose.flow.") == {
+            "hose.flow.fibers[le_8]": 15386,
+            "hose.flow.fibers[le_16]": 375,
+            "hose.flow.fibers[le_32]": 1,
+        }
+
+    def test_span_taxonomy_present(self, traced_plan):
+        _, record = traced_plan
+        names = {rec.name for rec in record.walk()}
+        assert {
+            "plan.topology", "plan.prune", "plan.enumerate", "plan.capacity",
+            "plan.amplifiers", "plan.cutthrough", "plan.residual",
+            "plan.validate",
+        } <= names

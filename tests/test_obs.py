@@ -1,0 +1,310 @@
+"""The observability layer: span trees, counter merges, exporters, no-op path.
+
+The property-based tests pin the three contracts everything else builds on:
+span nesting always yields a well-formed tree, counter merges are
+associative/commutative (so worker shards can arrive in any order), and
+the disabled fast path leaves plan outputs bit-identical to traced runs.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import obs
+from repro.obs import ObsError, SpanRecord, Tracer, merge_counters
+from repro.obs.tracer import NULL_SPAN, _NullSpan
+
+
+# -- strategies -------------------------------------------------------------
+
+span_names = st.sampled_from(
+    ["plan.topology", "plan.enumerate", "plan.capacity", "engine.chunk",
+     "hose.maxflow", "flowsim.run", "a", "b"]
+)
+
+# A nested span program: each node is (name, counter increments, children).
+span_programs = st.recursive(
+    st.tuples(
+        span_names,
+        st.lists(
+            st.tuples(span_names, st.integers(min_value=0, max_value=50)),
+            max_size=3,
+        ),
+        st.just([]),
+    ),
+    lambda children: st.tuples(
+        span_names,
+        st.lists(
+            st.tuples(span_names, st.integers(min_value=0, max_value=50)),
+            max_size=3,
+        ),
+        st.lists(children, max_size=3),
+    ),
+    max_leaves=12,
+)
+
+counter_shards = st.lists(
+    st.dictionaries(
+        st.sampled_from(["hits", "misses", "scenarios", "flows"]),
+        st.integers(min_value=0, max_value=10_000),
+        max_size=4,
+    ),
+    max_size=6,
+)
+
+
+def _execute(tracer: Tracer, program) -> int:
+    """Run a span program; returns how many spans were opened."""
+    name, incrs, children = program
+    opened = 1
+    with tracer.span(name) as span:
+        for counter, n in incrs:
+            span.incr(counter, n)
+        for child in children:
+            opened += _execute(tracer, child)
+    return opened
+
+
+def _program_counters(program) -> dict[str, int]:
+    name, incrs, children = program
+    totals: dict[str, int] = {}
+    for counter, n in incrs:
+        totals[counter] = totals.get(counter, 0) + n
+    for child in children:
+        merge_counters(totals, _program_counters(child))
+    return totals
+
+
+class TestSpanTreeProperties:
+    @given(program=span_programs)
+    @settings(max_examples=60, deadline=None)
+    def test_nesting_always_forms_a_tree(self, program):
+        """Every opened span appears exactly once, under its opener."""
+        tracer = Tracer("root")
+        opened = _execute(tracer, program)
+        record = tracer.record()
+        # +1 for the root; walk() visits each node exactly once.
+        assert record.n_spans() == opened + 1
+        # Well-formed: every child list belongs to exactly one parent
+        # (no node reachable twice => ids are unique along the walk).
+        ids = [id(rec) for rec in record.walk()]
+        assert len(ids) == len(set(ids))
+        # Durations nest: a child closed before its parent.
+        for rec in record.walk():
+            for child in rec.children:
+                assert child.duration_s <= rec.duration_s + 1e-6
+
+    @given(program=span_programs)
+    @settings(max_examples=60, deadline=None)
+    def test_counter_totals_match_the_program(self, program):
+        """Tree-wide totals equal the increments the program issued."""
+        tracer = Tracer("root")
+        _execute(tracer, program)
+        record = tracer.record()
+        for counter, expected in _program_counters(program).items():
+            assert record.total(counter) == expected
+
+    def test_out_of_order_close_rejected(self):
+        tracer = Tracer("root")
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(ObsError, match="out of order"):
+            outer.__exit__(None, None, None)
+
+    def test_finish_with_open_span_rejected(self):
+        tracer = Tracer("root")
+        tracer.span("open").__enter__()
+        with pytest.raises(ObsError, match="open span"):
+            tracer.finish()
+
+
+class TestCounterProperties:
+    @given(shards=counter_shards)
+    @settings(max_examples=80, deadline=None)
+    def test_merge_is_associative_and_commutative(self, shards):
+        """Any merge order/grouping of worker shards gives the same totals."""
+        left_fold: dict[str, float] = {}
+        for shard in shards:
+            merge_counters(left_fold, shard)
+
+        right_fold: dict[str, float] = {}
+        for shard in reversed(shards):
+            merge_counters(right_fold, shard)
+
+        shuffled = list(shards)
+        random.Random(0).shuffle(shuffled)
+        pairwise: dict[str, float] = {}
+        # Merge in arbitrary binary groupings: ((s0+s1)+(s2+...)).
+        mid = len(shuffled) // 2
+        lo: dict[str, float] = {}
+        hi: dict[str, float] = {}
+        for shard in shuffled[:mid]:
+            merge_counters(lo, shard)
+        for shard in shuffled[mid:]:
+            merge_counters(hi, shard)
+        merge_counters(pairwise, lo)
+        merge_counters(pairwise, hi)
+
+        assert left_fold == right_fold == pairwise
+
+    @given(shards=counter_shards)
+    @settings(max_examples=40, deadline=None)
+    def test_merged_counters_stay_non_negative(self, shards):
+        merged: dict[str, float] = {}
+        for shard in shards:
+            merge_counters(merged, shard)
+        assert all(value >= 0 for value in merged.values())
+
+    def test_negative_increment_rejected(self):
+        tracer = Tracer("root")
+        with pytest.raises(ObsError, match=">= 0"):
+            tracer.incr("c", -1)
+        with tracer.span("s") as span:
+            with pytest.raises(ObsError, match=">= 0"):
+                span.incr("c", -3)
+
+
+class TestGlobalFacade:
+    def test_disabled_by_default(self):
+        assert not obs.enabled()
+        assert obs.current() is None
+        assert obs.span("anything") is NULL_SPAN
+        obs.incr("anything")  # silently dropped
+        obs.attach(SpanRecord("shard"))  # silently dropped
+
+    def test_null_span_is_inert(self):
+        with obs.span("nothing") as span:
+            assert isinstance(span, _NullSpan)
+            span.incr("c", 5)
+
+    def test_tracing_installs_and_restores(self):
+        assert not obs.enabled()
+        with obs.tracing("outer") as tracer:
+            assert obs.enabled()
+            assert obs.current() is tracer
+            with obs.span("child") as span:
+                span.incr("c", 2)
+        assert not obs.enabled()
+        record = tracer.record()
+        assert [rec.name for rec in record.walk()] == ["outer", "child"]
+        assert record.total("c") == 2
+
+    def test_nested_tracing_stacks(self):
+        with obs.tracing("outer") as outer:
+            with obs.tracing("inner") as inner:
+                obs.incr("c")
+            obs.incr("c")
+        assert inner.record().total("c") == 1
+        assert outer.record().total("c") == 1
+
+    def test_capture_and_attach_graft_shards(self):
+        with obs.capture("worker") as worker:
+            obs.incr("done", 3)
+        shard = worker.record()
+        with obs.tracing("parent") as tracer:
+            with obs.span("fanout"):
+                obs.attach(shard)
+        record = tracer.record()
+        assert record.total("done") == 3
+        fanout = record.child("fanout")
+        assert fanout is not None and fanout.child("worker") is shard
+
+
+class TestBucketLabel:
+    @given(value=st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=50, deadline=None)
+    def test_every_value_lands_in_exactly_one_bounded_bucket(self, value):
+        label = obs.bucket_label(value)
+        assert label.startswith(("le_", "gt_"))
+        # The namespace is bounded regardless of value magnitude.
+        assert label in {
+            "le_1", "le_2", "le_4", "le_8", "le_16", "le_32", "le_64",
+            "le_128", "le_256", "gt_256",
+        }
+
+    def test_buckets_are_monotonic(self):
+        labels = [obs.bucket_label(v) for v in (1, 2, 3, 8, 100, 999)]
+        assert labels == ["le_1", "le_2", "le_4", "le_8", "le_128", "gt_256"]
+
+
+class TestExporters:
+    def _sample_record(self) -> SpanRecord:
+        tracer = Tracer("root")
+        with tracer.span("phase.a") as span:
+            span.incr("items", 3)
+            with tracer.span("phase.b") as inner:
+                inner.incr("items", 2)
+        with tracer.span("phase.a") as span:
+            span.incr("hits", 7)
+        return tracer.record()
+
+    def test_dict_round_trip(self):
+        record = self._sample_record()
+        data = obs.record_to_dict(record)
+        restored = obs.record_from_dict(data)
+        assert obs.record_to_dict(restored) == data
+
+    def test_dict_without_durations_is_deterministic(self):
+        a = obs.record_to_dict(self._sample_record(), include_durations=False)
+        b = obs.record_to_dict(self._sample_record(), include_durations=False)
+        assert a == b  # durations are the only run-varying content
+
+    def test_render_tree_shape(self):
+        text = obs.render_tree(self._sample_record())
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert any("phase.b" in line and line.startswith("    ") for line in lines)
+        assert "items=3" in text and "hits=7" in text
+
+    def test_json_lines_are_valid_json_with_paths(self):
+        rows = [
+            json.loads(line)
+            for line in obs.to_json_lines(self._sample_record()).splitlines()
+        ]
+        assert [row["path"] for row in rows] == [
+            "root", "root/phase.a", "root/phase.a/phase.b", "root/phase.a",
+        ]
+
+    def test_aggregate_collapses_by_name(self):
+        rows = obs.aggregate(self._sample_record())
+        by_name = {row.name: row for row in rows}
+        assert by_name["phase.a"].count == 2
+        assert by_name["phase.a"].counters == {"items": 3, "hits": 7}
+        assert by_name["phase.b"].counters == {"items": 2}
+
+    def test_csv_rows_are_rectangular(self):
+        rows = obs.to_csv_rows(self._sample_record())
+        assert all(len(row) == len(rows[0]) for row in rows)
+        assert rows[0][:3] == ["phase", "total_s", "count"]
+
+    def test_malformed_record_dict_rejected(self):
+        with pytest.raises(Exception, match="malformed span record"):
+            obs.record_from_dict({"children": "nope"})
+
+
+class TestSpanRecordQueries:
+    def test_child_find_total(self):
+        root = SpanRecord("root", counters={"n": 1}, children=[
+            SpanRecord("a", counters={"n": 2}),
+            SpanRecord("b", children=[SpanRecord("a", counters={"n": 4})]),
+        ])
+        assert root.child("a").counters == {"n": 2}
+        assert root.child("missing") is None
+        assert len(root.find("a")) == 2
+        assert root.total("n") == 7
+        assert root.counter_totals() == {"n": 7}
+        assert root.n_spans() == 4
+
+    def test_records_are_picklable(self):
+        import pickle
+
+        root = SpanRecord("root", children=[SpanRecord("a", counters={"n": 2})])
+        clone = pickle.loads(pickle.dumps(root))
+        assert clone.name == "root"
+        assert clone.children[0].counters == {"n": 2}

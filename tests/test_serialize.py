@@ -79,3 +79,58 @@ class TestPlanSummaryWithAmplifiers:
         assert data["amplifier_sites"] == {"M0": 4}
         assert data["scenarios_enumerated"] >= 1
         assert data["scenarios_total"] >= data["scenarios_enumerated"]
+
+
+class TestInstrumentedPlanSerialization:
+    """Plans carry timings and (sometimes) a span trace; the audit JSON
+    must stay deterministic by default and expose both only explicitly."""
+
+    def test_default_json_is_deterministic_across_runs(self, toy_region):
+        # Second plan hits a warm hose cache and a different-looking trace;
+        # neither may leak into the default audit output.
+        first = plan_to_json(plan_region(toy_region))
+        second = plan_to_json(plan_region(toy_region))
+        assert first == second
+
+    def test_default_timings_block_is_environment_invariant(self, toy_region):
+        data = plan_to_dict(plan_region(toy_region))
+        assert set(data["timings"]) == {"scenarios_evaluated", "hose_lookups"}
+        assert data["timings"]["scenarios_evaluated"] == data["scenarios_enumerated"]
+        assert "trace" not in data
+
+    def test_runtime_fields_opt_in(self, toy_region):
+        plan = plan_region(toy_region)
+        data = plan_to_dict(plan, include_runtime=True)
+        timings = data["timings"]
+        assert timings["backend"] == "serial" and timings["jobs"] == 1
+        assert (
+            timings["hose_cache_hits"] + timings["hose_cache_misses"]
+            == timings["hose_lookups"]
+        )
+        assert timings["total_s"] >= 0.0
+
+    def test_trace_opt_in_and_round_trips(self, toy_region):
+        from repro.obs import record_from_dict, record_to_dict
+
+        plan_region(toy_region)  # warm the hose cache: stable hit counters
+        data = plan_to_dict(plan_region(toy_region), include_trace=True)
+        assert data["trace"]["name"] == "plan.topology"
+        # Without runtime fields the trace is deterministic content...
+        again = plan_to_dict(plan_region(toy_region), include_trace=True)
+        assert data["trace"] == again["trace"]
+        # ...and reconstructs to an equivalent span tree.
+        restored = record_from_dict(data["trace"])
+        assert record_to_dict(restored, include_durations=False) == data["trace"]
+
+    def test_traced_plan_serializes_cleanly(self, toy_region):
+        # A plan produced under global tracing has a much richer trace
+        # attached; default serialization must still match the untraced one.
+        from repro import obs
+        from repro.core.hose import clear_hose_cache
+
+        clear_hose_cache()
+        plain = plan_to_json(plan_region(toy_region))
+        clear_hose_cache()
+        with obs.tracing("audit"):
+            traced_plan = plan_region(toy_region)
+        assert plan_to_json(traced_plan) == plain
