@@ -12,7 +12,6 @@ paper makes in prose:
   "in the future, we expect sub-ms switching for OSSes" [25]).
 """
 
-import pytest
 
 from repro.core.amplifiers import place_amplifiers
 from repro.core.cutthrough import place_cut_throughs
@@ -27,7 +26,6 @@ from repro.designs.semidistributed import cluster_zones
 from repro.region.catalog import make_region
 from repro.simulation.failover import FailoverConfig, run_failover
 
-from conftest import median
 
 
 def test_ablation_enumeration_pruning(benchmark, report):
@@ -72,11 +70,11 @@ def test_ablation_amplifiers_vs_cutthrough(benchmark, report):
             assignments=amps.assignments,
             allow_amplifiers=allow_amps,
         )
-        fiber = sum(l.fiber_pair_spans for l in links)
+        fiber = sum(link.fiber_pair_spans for link in links)
         cost = (
             final.total_amplifiers * prices.amplifier
             + fiber * prices.fiber_pair_span
-            + 4 * sum(l.fiber_pairs for l in links) * prices.oss_port
+            + 4 * sum(link.fiber_pairs for link in links) * prices.oss_port
         )
         return final.total_amplifiers, fiber, cost
 

@@ -15,8 +15,8 @@ def overhead_fraction(plan, prices: PriceBook) -> float:
     """(in-line amplifiers + cut-through fiber and ports) / total cost."""
     total = estimate_cost(plan.inventory(), prices).total
     amps = plan.amplifiers.total_amplifiers * prices.amplifier
-    cut_fiber = sum(l.fiber_pair_spans for l in plan.cut_throughs)
-    cut_ports = 4 * sum(l.fiber_pairs for l in plan.cut_throughs)
+    cut_fiber = sum(link.fiber_pair_spans for link in plan.cut_throughs)
+    cut_ports = 4 * sum(link.fiber_pairs for link in plan.cut_throughs)
     extra = (
         amps
         + cut_fiber * prices.fiber_pair_span

@@ -17,10 +17,17 @@ Run directly for a CI smoke pass that emits the JSON trace::
 
 import os
 import time
+from pathlib import Path
 
 from repro.core.planner import plan_region
 from repro.obs import profile_plan
 from repro.region.catalog import make_region
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: reprolint budget: review-time analysis must stay interactive and cheap
+#: enough to gate CI; ~5s covers the full repo with a wide margin today.
+REPROLINT_BUDGET_S = 5.0
 
 
 def plan_mid_region():
@@ -108,6 +115,34 @@ def test_planner_serial_vs_parallel(report):
         assert speedup >= 1.8
 
 
+def _run_reprolint():
+    """Time a full-repo reprolint pass; returns (seconds, findings, files)."""
+    from repro.lint import iter_python_files, lint_paths
+
+    roots = [REPO_ROOT / "src", REPO_ROOT / "tests", REPO_ROOT / "benchmarks"]
+    n_files = len(iter_python_files(roots))
+    t0 = time.perf_counter()
+    findings = lint_paths(roots)
+    return time.perf_counter() - t0, findings, n_files
+
+
+def test_reprolint_runtime(report):
+    """Static analysis is a CI gate; a gate slower than the tests it guards
+    stops being run. The full-repo pass must stay under ~5 s."""
+    seconds, findings, n_files = _run_reprolint()
+    src_findings = [f for f in findings if "src" in Path(f.path).parts]
+
+    report("lint   reprolint full-repo pass (src + tests + benchmarks)")
+    report(f"        wall time             budget {REPROLINT_BUDGET_S:.0f} s"
+           f"   measured {seconds:.2f} s ({n_files} files)")
+    report(f"        findings              src {len(src_findings)}"
+           f"   elsewhere {len(findings) - len(src_findings)}")
+
+    assert seconds < REPROLINT_BUDGET_S
+    # The shipped source tree is the gated surface and must be clean.
+    assert src_findings == []
+
+
 def _smoke(trace_json: str | None) -> int:
     """CI smoke: profile a small region, print the phase table, dump trace."""
     from repro.obs import write_trace_json
@@ -123,8 +158,20 @@ def _smoke(trace_json: str | None) -> int:
     if trace_json:
         write_trace_json(trace_json, result.trace)
         print(f"\ntrace written to {trace_json}")
+
+    lint_s, findings, n_files = _run_reprolint()
+    src_findings = [f for f in findings if "src" in Path(f.path).parts]
+    print(f"\nreprolint: {n_files} files in {lint_s:.2f} s "
+          f"(budget {REPROLINT_BUDGET_S:.0f} s), "
+          f"{len(src_findings)} src finding(s)")
+
     if problems:
         print(f"PLAN INVALID: {problems[:3]}")
+        return 1
+    if src_findings or lint_s >= REPROLINT_BUDGET_S:
+        for finding in src_findings[:5]:
+            print(finding.format())
+        print("REPROLINT GATE FAILED")
         return 1
     return 0
 

@@ -11,6 +11,7 @@ Subcommands map onto the paper's workflow:
 * ``testbed``   — the Fig 14 reconfiguration/BER experiment
 * ``analyze``   — latency inflation + siting flexibility over an ensemble
 * ``failover``  — a duct-cut drill through the control plane
+* ``lint``      — reprolint: domain-aware static analysis of planner invariants
 
 Any subcommand that accepts ``--trace``/``--trace-json PATH`` runs under
 :mod:`repro.obs` tracing: ``--trace`` prints the span tree (with counters)
@@ -317,6 +318,29 @@ def _failover_drill(region) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Run reprolint; exit 0 clean, 1 findings, 2 usage error."""
+    from repro.lint import LintUsageError, all_rules, lint_paths
+
+    if args.list_rules:
+        for lint_rule in all_rules():
+            print(f"{lint_rule.rule_id}  {lint_rule.title}")
+            print(f"      {lint_rule.invariant}")
+        return 0
+    try:
+        findings = lint_paths(args.paths)
+    except LintUsageError as exc:
+        print(f"usage error: {exc}", file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        flagged = len({finding.path for finding in findings})
+        print(f"{len(findings)} finding(s) in {flagged} file(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The iris argument parser."""
     parser = argparse.ArgumentParser(
@@ -379,6 +403,23 @@ def build_parser() -> argparse.ArgumentParser:
     _add_region_args(p)
     _add_trace_args(p)
     p.set_defaults(func=cmd_failover)
+
+    p = sub.add_parser(
+        "lint",
+        help="reprolint static analysis (determinism/unit/pool-safety rules)",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print each rule id, title, and the invariant it guards",
+    )
+    p.set_defaults(func=cmd_lint)
 
     return parser
 

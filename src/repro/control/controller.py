@@ -207,7 +207,7 @@ class IrisController:
         """Pairs whose lit-fiber set changes (these get drained)."""
         current = dict(self._current_target.fibers)
         changed = []
-        for pair in set(current) | set(target.fibers):
+        for pair in sorted(set(current) | set(target.fibers)):
             if current.get(pair, 0) != target.fibers.get(pair, 0):
                 changed.append(pair)
         return tuple(sorted(changed))

@@ -58,7 +58,7 @@ class DemandEstimator:
         if self._windows == 0:
             self._rates_gbps.update(rates)
         else:
-            for pair in set(self._rates_gbps) | set(rates):
+            for pair in sorted(set(self._rates_gbps) | set(rates)):
                 old = self._rates_gbps.get(pair, 0.0)
                 new = rates.get(pair, 0.0)
                 self._rates_gbps[pair] = (
@@ -100,7 +100,7 @@ class DemandEstimator:
         pairs appearing or vanishing).
         """
         current = self.demands_gbps()
-        for pair in set(current) | set(dict(applied_gbps)):
+        for pair in sorted(set(current) | set(dict(applied_gbps))):
             old = dict(applied_gbps).get(pair, 0.0)
             new = current.get(pair, 0.0)
             base = max(old, 1e-3)

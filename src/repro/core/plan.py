@@ -14,7 +14,7 @@ the n-squared fractional-capacity provisioning. Everything lands in an
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.cost.estimator import Inventory
 from repro.core.engine import PlanTimings
@@ -310,7 +310,9 @@ class IrisPlan:
 
     # -- failure handling -----------------------------------------------------
 
-    def scenario_for_failures(self, failed_ducts) -> Scenario:
+    def scenario_for_failures(
+        self, failed_ducts: Iterable[tuple[str, str]]
+    ) -> Scenario:
         """The enumerated scenario whose paths survive ``failed_ducts``.
 
         The pruned enumeration guarantees an equivalent scenario exists for

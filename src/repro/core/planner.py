@@ -51,7 +51,9 @@ class IrisPlanner:
 
     def plan_topology(self) -> TopologyPlan:
         """Run only Algorithm 1 (shared with the EPS baseline)."""
-        return plan_topology(self.region, self.prune_enumeration, jobs=self.jobs)
+        return plan_topology(
+            self.region, prune_enumeration=self.prune_enumeration, jobs=self.jobs
+        )
 
     def plan_from_topology(self, topology: TopologyPlan) -> IrisPlan:
         """Complete the optical realization on a precomputed topology."""

@@ -213,8 +213,8 @@ def _capacity_chunk(
 
 def plan_topology(
     region: RegionSpec,
-    prune_enumeration: bool = True,
     *,
+    prune_enumeration: bool = True,
     jobs: int | None = 1,
 ) -> TopologyPlan:
     """Run Algorithm 1 for ``region``.

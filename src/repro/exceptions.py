@@ -1,5 +1,9 @@
 """Exception hierarchy shared across the repro package."""
 
+from __future__ import annotations
+
+from typing import Any
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this package."""
@@ -14,14 +18,20 @@ class InfeasibleRegionError(RegionError):
 
     Raised, for example, when a DC pair exceeds the SLA fiber distance under
     some tolerated failure scenario, or when the fiber map disconnects.
+
+    ``scenario``/``pair`` identify the failing failure scenario and DC pair
+    when known; they are typed loosely to keep this module free of imports
+    from the core planner (which itself raises these errors).
     """
 
-    def __init__(self, message, scenario=None, pair=None):
+    def __init__(
+        self, message: str, scenario: Any = None, pair: Any = None
+    ) -> None:
         super().__init__(message)
         self.scenario = scenario
         self.pair = pair
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[Any, ...]:
         # Default exception pickling only replays ``args``, dropping the
         # scenario/pair attributes when a worker process raises; preserve
         # them across the pool boundary.
@@ -36,12 +46,14 @@ class PlanningError(ReproError):
 class ConstraintViolation(ReproError):
     """An optical-layer technology constraint (TC1-TC4) is violated."""
 
-    def __init__(self, message, constraint=None, path=None):
+    def __init__(
+        self, message: str, constraint: str | None = None, path: Any = None
+    ) -> None:
         super().__init__(message)
         self.constraint = constraint
         self.path = path
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[Any, ...]:
         message = self.args[0] if self.args else ""
         return (self.__class__, (message, self.constraint, self.path))
 

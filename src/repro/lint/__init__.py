@@ -1,0 +1,49 @@
+"""repro.lint — domain-aware static analysis for planner invariants.
+
+The last releases made planner correctness depend on invariants no single
+test fully enforces: bit-identical serial/parallel plans, a PID-pinned
+hose cache as the only module-level mutable state, monotonic-clock-only
+timing, environment-invariant serialization. ``reprolint`` checks those
+properties statically — at review time, not as flaky parity failures.
+
+Zero dependencies: the framework is the stdlib ``ast`` module plus a rule
+registry. Run it as ``iris lint src/`` (exit 0 clean, 1 findings, 2 usage
+error) or import it from tests::
+
+    from repro.lint import lint_paths, lint_source
+
+    assert lint_paths(["src"]) == []
+    assert lint_source("import random\\nrandom.seed(1)\\n") != []
+
+Rules (see :mod:`repro.lint.rules` and ``iris lint --list-rules``):
+R001 global RNG state, R002 wall-clock reads, R003 float equality on unit
+quantities, R004 unordered set iteration, R005 module-level mutable state,
+R006 keyword-only planner config, R007 unit-suffix mixing. Intentional
+violations carry a ``# repro: noqa-RXXX`` comment on the flagged line.
+"""
+
+from repro.lint.driver import (
+    LintUsageError,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+    suppressions,
+)
+from repro.lint.findings import Finding
+from repro.lint.registry import FileContext, Rule, all_rules, get_rule, rule
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "LintUsageError",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "rule",
+    "suppressions",
+]

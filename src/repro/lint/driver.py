@@ -1,0 +1,167 @@
+"""The reprolint per-file driver: parse, dispatch, suppress, report.
+
+The driver walks each file's AST exactly once, handing every node to the
+rules registered for its type (:mod:`repro.lint.registry`). Findings on a
+line carrying a ``# repro: noqa`` comment are suppressed — either wholesale
+(``# repro: noqa``) or per rule (``# repro: noqa-R004`` or
+``# repro: noqa-R001,R004``). Suppressions match the *first* line of the
+flagged statement, the line reported in the finding.
+
+Unparseable files produce a single ``R000`` finding at the syntax error
+rather than aborting the run, so one broken file cannot hide findings in
+the rest of the tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.exceptions import ReproError
+from repro.lint.findings import Finding
+from repro.lint.registry import FileContext, Rule, all_rules
+
+# Rules live in their own module purely for readability; importing it runs
+# the @rule registrations.
+from repro.lint import rules as _rules  # noqa: F401
+
+
+class LintUsageError(ReproError):
+    """The lint invocation itself is wrong (bad path, nothing to lint)."""
+
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:-(?P<rules>R\d{3}(?:\s*,\s*R\d{3})*))?",
+    re.IGNORECASE,
+)
+
+#: Sentinel for "suppress every rule on this line".
+_ALL = frozenset({"*"})
+
+
+def suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Per-line suppression sets parsed from ``# repro: noqa`` comments."""
+    out: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "#" not in line:
+            continue
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        listed = match.group("rules")
+        if listed is None:
+            out[lineno] = _ALL
+        else:
+            ids = frozenset(
+                part.strip().upper() for part in listed.split(",") if part.strip()
+            )
+            out[lineno] = out.get(lineno, frozenset()) | ids
+    return out
+
+
+def _suppressed(finding: Finding, by_line: dict[int, frozenset[str]]) -> bool:
+    active = by_line.get(finding.line)
+    if active is None:
+        return False
+    return active is _ALL or "*" in active or finding.rule_id in active
+
+
+def _parent_map(tree: ast.AST) -> dict[ast.AST, ast.AST]:
+    return {
+        child: parent
+        for parent in ast.walk(tree)
+        for child in ast.iter_child_nodes(parent)
+    }
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Lint one source string; returns sorted, suppression-filtered findings.
+
+    ``path`` is used both for reporting and for rule exemption matching
+    (e.g. R002 is exempt under ``repro/obs/``). ``rules`` restricts the
+    pass to a subset (tests use this to exercise one rule in isolation).
+    """
+    display = str(path)
+    ctx = FileContext(
+        path=display,
+        module_path=Path(display).as_posix(),
+        source=source,
+    )
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                display,
+                exc.lineno or 1,
+                (exc.offset or 0) or 1,
+                "R000",
+                f"syntax error: {exc.msg}",
+            )
+        ]
+    ctx.parents = _parent_map(tree)
+
+    selected = all_rules() if rules is None else tuple(rules)
+    dispatch: dict[type, list[Rule]] = {}
+    for selected_rule in selected:
+        if ctx.is_exempt(selected_rule.exempt):
+            continue
+        for node_type in selected_rule.node_types:
+            dispatch.setdefault(node_type, []).append(selected_rule)
+
+    found: list[Finding] = []
+    for node in ast.walk(tree):
+        for active_rule in dispatch.get(type(node), ()):
+            found.extend(active_rule.check(node, ctx))
+
+    by_line = suppressions(source)
+    return sorted(f for f in found if not _suppressed(f, by_line))
+
+
+def lint_file(path: str | Path, *, rules: Sequence[Rule] | None = None) -> list[Finding]:
+    """Lint one file on disk."""
+    file_path = Path(path)
+    try:
+        source = file_path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintUsageError(f"cannot read {file_path}: {exc}") from exc
+    return lint_source(source, path=str(file_path), rules=rules)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files and directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.update(path.rglob("*.py"))
+        elif path.is_file():
+            out.add(path)
+        else:
+            raise LintUsageError(f"no such file or directory: {path}")
+    return sorted(out)
+
+
+def lint_paths(
+    paths: Iterable[str | Path], *, rules: Sequence[Rule] | None = None
+) -> list[Finding]:
+    """Lint files and/or directory trees; the ``iris lint`` workhorse.
+
+    Raises :class:`LintUsageError` when a path does not exist or no Python
+    files are found at all — an empty pass is a misconfigured gate, not a
+    clean one.
+    """
+    files = iter_python_files(paths)
+    if not files:
+        raise LintUsageError("no Python files to lint under the given paths")
+    findings: list[Finding] = []
+    for file_path in files:
+        findings.extend(lint_file(file_path, rules=rules))
+    return sorted(findings)

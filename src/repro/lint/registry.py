@@ -1,0 +1,107 @@
+"""Rule registry and per-file analysis context for reprolint.
+
+A rule is a generator function registered for specific AST node types; the
+driver (:mod:`repro.lint.driver`) walks each file's tree once and dispatches
+every node to the rules interested in its type. Rules therefore stay O(1)
+per node and a full-repo pass stays well under the bench budget.
+
+Rules may declare ``exempt`` path fragments: files whose normalized path
+contains any fragment are skipped for that rule (e.g. ``repro/obs/`` owns
+the wall clock, so R002 does not apply there).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from repro.lint.findings import Finding
+
+#: A rule body: yields findings for one dispatched node.
+CheckFn = Callable[[ast.AST, "FileContext"], Iterator[Finding]]
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may consult about the file under analysis."""
+
+    #: Display path, as given by the caller (used in findings).
+    path: str
+    #: Posix-normalized path used for rule exemption matching.
+    module_path: str
+    #: Raw source text of the file.
+    source: str
+    #: Child node -> parent node, for rules that need enclosing context.
+    parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+
+    def finding(self, node: ast.AST, rule_id: str, message: str) -> Finding:
+        """A finding anchored at ``node``'s position in this file."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        return Finding(self.path, line, col, rule_id, message)
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """The AST parent of ``node`` (None at module level)."""
+        return self.parents.get(node)
+
+    def is_exempt(self, fragments: Iterable[str]) -> bool:
+        """Whether this file matches any exemption path fragment."""
+        return any(fragment in self.module_path for fragment in fragments)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered reprolint rule."""
+
+    rule_id: str
+    title: str
+    invariant: str
+    node_types: tuple[type, ...]
+    check: CheckFn
+    exempt: tuple[str, ...] = ()
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def rule(
+    rule_id: str,
+    *,
+    title: str,
+    invariant: str,
+    nodes: Iterable[type],
+    exempt: Iterable[str] = (),
+) -> Callable[[CheckFn], CheckFn]:
+    """Register ``fn`` as the body of rule ``rule_id``.
+
+    ``title`` is the short human name shown by ``iris lint --list-rules``;
+    ``invariant`` states the planner property the rule protects (it feeds
+    the docs); ``nodes`` are the AST node types the driver dispatches to
+    the rule; ``exempt`` are path fragments where the rule does not apply.
+    """
+
+    def decorate(fn: CheckFn) -> CheckFn:
+        if rule_id in _RULES:
+            raise ValueError(f"rule {rule_id} registered twice")
+        _RULES[rule_id] = Rule(
+            rule_id=rule_id,
+            title=title,
+            invariant=invariant,
+            node_types=tuple(nodes),
+            check=fn,
+            exempt=tuple(exempt),
+        )
+        return fn
+
+    return decorate
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, ordered by rule id."""
+    return tuple(_RULES[rid] for rid in sorted(_RULES))
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one rule by id (KeyError if unknown)."""
+    return _RULES[rule_id]

@@ -1,0 +1,483 @@
+"""The reprolint domain rules (R001-R007).
+
+Each rule guards one invariant the planner's correctness rests on — the
+properties the parity, golden-count, and serialization-determinism tests
+probe dynamically, enforced here at review time instead of as flaky test
+failures:
+
+=====  ==========================================================
+R001   no global RNG state (seeded instances only)
+R002   no wall-clock reads outside ``repro.obs``
+R003   no float ``==``/``!=`` on unit-suffixed quantities
+R004   no iteration over unordered sets without ``sorted()``
+R005   no module-level mutable state outside the whitelist
+R006   public planner entry points keep config params keyword-only
+R007   no arithmetic mixing different unit suffixes
+=====  ==========================================================
+
+The rules are syntactic: they see names and shapes, not types. That makes
+them fast and zero-dependency, at the cost of not tracking values through
+assignments (``s = set(...); for x in s`` is invisible to R004). Findings
+that are intentional carry a ``# repro: noqa-RXXX`` suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import FileContext, rule
+
+
+def _dotted_root(node: ast.expr) -> str | None:
+    """The leftmost name of a dotted attribute chain, or None."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+# --- R001: global RNG state ---------------------------------------------------
+
+#: ``random`` module attributes that do NOT touch the shared module RNG.
+_RANDOM_OK = {"Random"}
+
+#: ``numpy.random`` attributes that construct seeded, instance-local state.
+_NP_RANDOM_OK = {
+    "default_rng",
+    "Generator",
+    "RandomState",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "MT19937",
+    "Philox",
+    "SFC64",
+}
+
+
+@rule(
+    "R001",
+    title="no global RNG state",
+    invariant=(
+        "scenario enumeration and synthetic regions must replay bit-identically "
+        "from an explicit seed; the shared module RNG is mutated by anyone"
+    ),
+    nodes=(ast.Attribute, ast.ImportFrom),
+)
+def no_global_rng(node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+    if isinstance(node, ast.ImportFrom):
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name not in _RANDOM_OK:
+                    yield ctx.finding(
+                        node,
+                        "R001",
+                        f"'from random import {alias.name}' exposes the shared "
+                        "module RNG; instantiate a seeded random.Random instead",
+                    )
+        elif node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name not in _NP_RANDOM_OK:
+                    yield ctx.finding(
+                        node,
+                        "R001",
+                        f"'from numpy.random import {alias.name}' uses numpy's "
+                        "global RNG; use numpy.random.default_rng(seed)",
+                    )
+        return
+    assert isinstance(node, ast.Attribute)
+    value = node.value
+    if (
+        isinstance(value, ast.Name)
+        and value.id == "random"
+        and node.attr not in _RANDOM_OK
+    ):
+        yield ctx.finding(
+            node,
+            "R001",
+            f"random.{node.attr} mutates the shared module RNG; "
+            "use a seeded random.Random instance",
+        )
+    elif (
+        isinstance(value, ast.Attribute)
+        and value.attr == "random"
+        and isinstance(value.value, ast.Name)
+        and value.value.id in ("np", "numpy")
+        and node.attr not in _NP_RANDOM_OK
+    ):
+        yield ctx.finding(
+            node,
+            "R001",
+            f"{value.value.id}.random.{node.attr} mutates numpy's global RNG; "
+            "use numpy.random.default_rng(seed)",
+        )
+
+
+# --- R002: wall-clock reads ---------------------------------------------------
+
+#: ``time`` module functions that read the wall clock.
+_TIME_WALL = {"time", "time_ns", "ctime", "localtime", "gmtime", "asctime"}
+
+#: ``datetime``/``date`` constructors that read the wall clock.
+_DATETIME_WALL = {"now", "utcnow", "today"}
+
+
+@rule(
+    "R002",
+    title="no wall-clock reads",
+    invariant=(
+        "plan serialization is environment-invariant and all durations come "
+        "from the monotonic clock owned by repro.obs; wall-clock reads leak "
+        "the run environment into outputs and go backwards under NTP steps"
+    ),
+    nodes=(ast.Attribute, ast.ImportFrom),
+    exempt=("repro/obs/",),
+)
+def no_wall_clock(node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+    if isinstance(node, ast.ImportFrom):
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in _TIME_WALL:
+                    yield ctx.finding(
+                        node,
+                        "R002",
+                        f"'from time import {alias.name}' reads the wall clock; "
+                        "use time.monotonic()/perf_counter() (repro.obs owns timing)",
+                    )
+        return
+    assert isinstance(node, ast.Attribute)
+    if (
+        isinstance(node.value, ast.Name)
+        and node.value.id == "time"
+        and node.attr in _TIME_WALL
+    ):
+        yield ctx.finding(
+            node,
+            "R002",
+            f"time.{node.attr} reads the wall clock; use "
+            "time.monotonic()/perf_counter() (repro.obs owns timing)",
+        )
+    elif node.attr in _DATETIME_WALL and _dotted_root(node) in ("datetime", "date"):
+        yield ctx.finding(
+            node,
+            "R002",
+            f"{_dotted_root(node)}.{node.attr} reads the wall clock; planner "
+            "outputs must not depend on when they were produced",
+        )
+
+
+# --- R003: float equality on quantities --------------------------------------
+
+#: Identifier suffixes naming float-valued physical quantities.
+_FLOAT_UNIT_SUFFIXES = {
+    "km",
+    "m",
+    "db",
+    "dbm",
+    "mw",
+    "gbps",
+    "mbps",
+    "tbps",
+    "bps",
+    "s",
+    "ms",
+    "us",
+    "ns",
+    "hz",
+    "ghz",
+}
+
+
+def _unit_suffix(name: str) -> str | None:
+    """The unit suffix of an identifier (``span_km`` -> ``km``), or None."""
+    if "_" not in name:
+        return None
+    suffix = name.rsplit("_", 1)[-1].lower()
+    return suffix if suffix in _FLOAT_UNIT_SUFFIXES else None
+
+
+def _quantity_leaves(node: ast.expr) -> Iterator[ast.expr]:
+    """Leaf operands of an arithmetic expression (through BinOp/UnaryOp)."""
+    if isinstance(node, ast.BinOp):
+        yield from _quantity_leaves(node.left)
+        yield from _quantity_leaves(node.right)
+    elif isinstance(node, ast.UnaryOp):
+        yield from _quantity_leaves(node.operand)
+    else:
+        yield node
+
+
+def _is_float_quantity(leaf: ast.expr) -> bool:
+    if isinstance(leaf, ast.Constant):
+        return isinstance(leaf.value, float)
+    if isinstance(leaf, ast.Name):
+        return _unit_suffix(leaf.id) is not None
+    if isinstance(leaf, ast.Attribute):
+        return _unit_suffix(leaf.attr) is not None
+    return False
+
+
+@rule(
+    "R003",
+    title="no float equality on quantities",
+    invariant=(
+        "capacity/length comparisons must be tolerance-based (math.isclose) "
+        "or integer-valued; float == breaks under the engine's chunked "
+        "re-association and makes plans differ across platforms"
+    ),
+    nodes=(ast.Compare,),
+)
+def no_float_equality(node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+    assert isinstance(node, ast.Compare)
+    if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+        return
+    operands = [node.left, *node.comparators]
+    for operand in operands:
+        for leaf in _quantity_leaves(operand):
+            if _is_float_quantity(leaf):
+                label = (
+                    leaf.id
+                    if isinstance(leaf, ast.Name)
+                    else leaf.attr
+                    if isinstance(leaf, ast.Attribute)
+                    else repr(leaf.value)  # type: ignore[union-attr]
+                )
+                yield ctx.finding(
+                    node,
+                    "R003",
+                    f"float equality on quantity {label!r}; use math.isclose "
+                    "or an integer unit (fibers, wavelengths)",
+                )
+                return
+
+
+# --- R004: unordered iteration ------------------------------------------------
+
+_SET_ALGEBRA_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+_SET_METHODS = {"union", "intersection", "difference", "symmetric_difference"}
+
+#: Builtins whose result order follows the iteration order of their input.
+_ORDER_SENSITIVE_CALLS = {"list", "tuple", "enumerate", "iter", "reversed"}
+
+#: Consumers for which input order provably cannot matter.
+_ORDER_INSENSITIVE_CALLS = {
+    "sorted",
+    "set",
+    "frozenset",
+    "sum",
+    "min",
+    "max",
+    "any",
+    "all",
+    "len",
+}
+
+
+def _is_unordered(expr: ast.expr) -> bool:
+    """Whether ``expr`` syntactically evaluates to an unordered set."""
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _SET_METHODS
+            and _is_unordered(func.value)
+        ):
+            return True
+        return False
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, _SET_ALGEBRA_OPS):
+        return _is_unordered(expr.left) or _is_unordered(expr.right)
+    return False
+
+
+def _consumed_order_insensitively(node: ast.AST, ctx: FileContext) -> bool:
+    """Whether ``node``'s enclosing expression discards iteration order."""
+    parent = ctx.parent(node)
+    return (
+        isinstance(parent, ast.Call)
+        and isinstance(parent.func, ast.Name)
+        and parent.func.id in _ORDER_INSENSITIVE_CALLS
+    )
+
+
+_R004_MSG = (
+    "iteration order of a set is undefined across processes and runs; wrap "
+    "in sorted(...) before it reaches serialization or scenario enumeration"
+)
+
+
+@rule(
+    "R004",
+    title="no unordered set iteration",
+    invariant=(
+        "serialized plans and enumerated scenarios are byte-identical across "
+        "runs, worker counts, and PYTHONHASHSEED; set iteration order is none "
+        "of those"
+    ),
+    nodes=(ast.For, ast.AsyncFor, ast.comprehension, ast.Call),
+)
+def no_unordered_iteration(node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+    if isinstance(node, (ast.For, ast.AsyncFor)):
+        if _is_unordered(node.iter):
+            yield ctx.finding(node.iter, "R004", _R004_MSG)
+        return
+    if isinstance(node, ast.comprehension):
+        if not _is_unordered(node.iter):
+            return
+        # The enclosing comprehension decides whether order can matter: a
+        # SetComp's own result is unordered (flagged where *it* is consumed),
+        # and a generator fed straight into sorted()/sum()/... is fine.
+        enclosing = ctx.parent(node)
+        if isinstance(enclosing, ast.SetComp):
+            return
+        if isinstance(enclosing, ast.GeneratorExp) and _consumed_order_insensitively(
+            enclosing, ctx
+        ):
+            return
+        yield ctx.finding(node.iter, "R004", _R004_MSG)
+        return
+    assert isinstance(node, ast.Call)
+    func = node.func
+    arg = node.args[0] if node.args else None
+    if arg is None or not _is_unordered(arg):
+        return
+    is_conversion = isinstance(func, ast.Name) and func.id in _ORDER_SENSITIVE_CALLS
+    is_join = isinstance(func, ast.Attribute) and func.attr == "join"
+    if (is_conversion or is_join) and not _consumed_order_insensitively(node, ctx):
+        yield ctx.finding(arg, "R004", _R004_MSG)
+
+
+# --- R005: module-level mutable state -----------------------------------------
+
+#: Files allowed to rebind module globals: the PID-pinned hose cache (built
+#: to detect and survive process-pool forks) and the obs tracer facade
+#: (explicitly per-process; worker traces cross the pool via capture/attach).
+_R005_WHITELIST = ("repro/core/hose.py", "repro/obs/tracer.py")
+
+
+@rule(
+    "R005",
+    title="no module-level mutable state",
+    invariant=(
+        "worker processes must not inherit or race on module state; the "
+        "PID-pinned hose cache is the only blessed module-level cache and "
+        "the obs tracer facade the only blessed process-local singleton"
+    ),
+    nodes=(ast.Global,),
+    exempt=_R005_WHITELIST,
+)
+def no_module_state(node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+    assert isinstance(node, ast.Global)
+    for name in node.names:
+        yield ctx.finding(
+            node,
+            "R005",
+            f"rebinding module-level {name!r} breaks process-pool isolation; "
+            "only the PID-pinned hose cache (repro.core.hose) and the obs "
+            "tracer facade may hold module state",
+        )
+
+
+# --- R006: keyword-only config params ----------------------------------------
+
+#: Entry-point names whose defaulted parameters must be keyword-only.
+_R006_NAMES = {"get_design", "register_design"}
+
+
+@rule(
+    "R006",
+    title="planner config params keyword-only",
+    invariant=(
+        "public plan_*/design-registry signatures grow options over time; "
+        "keyword-only config keeps call sites unambiguous and lets params "
+        "reorder without silently changing meaning"
+    ),
+    nodes=(ast.FunctionDef, ast.AsyncFunctionDef),
+)
+def keyword_only_config(node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+    assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    name = node.name
+    if name.startswith("_"):
+        return
+    if not (name.startswith("plan_") or name in _R006_NAMES):
+        return
+    args = node.args
+    positional = [*args.posonlyargs, *args.args]
+    defaulted = positional[len(positional) - len(args.defaults) :]
+    for param in defaulted:
+        yield ctx.finding(
+            param,
+            "R006",
+            f"config parameter {param.arg!r} of public entry point {name}() "
+            "must be keyword-only (move it after '*')",
+        )
+
+
+# --- R007: unit-suffix mixing -------------------------------------------------
+
+#: Suffixes R007 tracks. Same-dimension conversions must route through
+#: repro.units; cross-dimension sums are always bugs. dB quantities are
+#: excluded: dB +/- dBm arithmetic is the legitimate link-budget idiom.
+_MIXABLE_UNITS = {
+    "km",
+    "m",
+    "s",
+    "ms",
+    "us",
+    "ns",
+    "gbps",
+    "mbps",
+    "tbps",
+    "bps",
+}
+
+
+def _operand_unit(expr: ast.expr) -> str | None:
+    if isinstance(expr, ast.Name):
+        name = expr.id
+    elif isinstance(expr, ast.Attribute):
+        name = expr.attr
+    else:
+        return None
+    if "_" not in name:
+        return None
+    suffix = name.rsplit("_", 1)[-1].lower()
+    return suffix if suffix in _MIXABLE_UNITS else None
+
+
+@rule(
+    "R007",
+    title="no unit-suffix mixing",
+    invariant=(
+        "distances are km, times are seconds, rates are Gbps throughout; "
+        "adding or comparing identifiers with different unit suffixes "
+        "bypasses the repro.units conversion helpers"
+    ),
+    nodes=(ast.BinOp, ast.Compare),
+)
+def no_unit_mixing(node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+    if isinstance(node, ast.BinOp):
+        if not isinstance(node.op, (ast.Add, ast.Sub)):
+            return
+        operand_pairs = [(node.left, node.right)]
+    else:
+        assert isinstance(node, ast.Compare)
+        chain = [node.left, *node.comparators]
+        operand_pairs = list(zip(chain, chain[1:]))
+    for left, right in operand_pairs:
+        left_unit = _operand_unit(left)
+        right_unit = _operand_unit(right)
+        if left_unit and right_unit and left_unit != right_unit:
+            yield ctx.finding(
+                node,
+                "R007",
+                f"mixing unit suffixes '_{left_unit}' and '_{right_unit}' in "
+                "one expression; convert through repro.units first",
+            )

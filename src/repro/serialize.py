@@ -110,7 +110,7 @@ def region_from_json(text: str) -> RegionSpec:
 
 
 def timings_to_dict(
-    timings: PlanTimings, include_runtime: bool = False
+    timings: PlanTimings, *, include_runtime: bool = False
 ) -> dict[str, Any]:
     """Explicit serialization of a plan's timing instrumentation.
 
@@ -138,6 +138,7 @@ def timings_to_dict(
 
 def plan_to_dict(
     plan: IrisPlan,
+    *,
     include_trace: bool = False,
     include_runtime: bool = False,
 ) -> dict[str, Any]:
@@ -182,6 +183,7 @@ def plan_to_dict(
 
 def plan_to_json(
     plan: IrisPlan,
+    *,
     indent: int | None = 2,
     include_trace: bool = False,
     include_runtime: bool = False,

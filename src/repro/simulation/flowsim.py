@@ -88,7 +88,7 @@ def compute_rates(
         cap = INF
         if pair_caps_bps is not None:
             cap = pair_caps_bps.get(pair, INF)
-        if flow_cap_bps != INF:
+        if math.isfinite(flow_cap_bps):
             # A per-flow cap is a pair constraint of count * cap, since all
             # of a pair's flows share one max-min rate.
             cap = min(cap, flow_cap_bps * count)

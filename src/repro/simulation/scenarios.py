@@ -201,7 +201,7 @@ def run_comparison(config: ScenarioConfig) -> ScenarioResult:
         new_alloc = allocate_fibers(pair_loads_bps(tm_k, config), config)
         changed = {
             p: (current.get(p, 0), new_alloc.get(p, 0))
-            for p in set(current) | set(new_alloc)
+            for p in sorted(set(current) | set(new_alloc))
             if current.get(p, 0) != new_alloc.get(p, 0)
         }
         if changed:

@@ -1,7 +1,5 @@
 """Algorithm 2: amplifier placement."""
 
-import pytest
-
 from repro.core.amplifiers import place_amplifiers
 from repro.core.failures import Scenario
 from repro.core.topology import plan_topology

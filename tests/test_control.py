@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.control.controller import CircuitTarget, IrisController, compute_target
+from repro.control.controller import IrisController, compute_target
 from repro.control.devices import (
     AmplifierDevice,
     ChannelEmulatorDevice,

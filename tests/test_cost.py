@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cost.estimator import CostBreakdown, Inventory, estimate_cost
+from repro.cost.estimator import Inventory, estimate_cost
 from repro.cost.pricebook import PriceBook
 from repro.exceptions import ReproError
 

@@ -7,11 +7,7 @@ from repro.core.failures import Scenario
 from repro.core.plan import EffectivePath
 from repro.core.topology import plan_topology
 from repro.exceptions import PlanningError
-from repro.region.fibermap import (
-    FiberMap,
-    OperationalConstraints,
-    RegionSpec,
-)
+from repro.region.fibermap import FiberMap
 
 from tests.test_amplifiers import line_region
 

@@ -1,7 +1,5 @@
 """Planar geometry helpers."""
 
-import math
-
 import pytest
 from hypothesis import given, strategies as st
 

@@ -1,6 +1,5 @@
 """Hose-model max-flow capacity (§4.1, [29])."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.hose import (

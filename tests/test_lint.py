@@ -1,0 +1,333 @@
+"""reprolint: rule fixtures, suppression handling, CLI exit codes.
+
+Each rule gets positive fixtures (violating code that must be flagged) and
+negative fixtures (compliant code that must stay clean), run with the rule
+isolated so a finding can only come from the rule under test. The final
+test lints the shipped ``src/`` tree and requires it clean — the same gate
+CI runs via ``iris lint src/``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.lint import (
+    Finding,
+    LintUsageError,
+    all_rules,
+    get_rule,
+    lint_paths,
+    lint_source,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def only(rule_id: str, source: str, path: str = "pkg/mod.py") -> list[Finding]:
+    """Lint ``source`` with a single rule active."""
+    return lint_source(source, path=path, rules=[get_rule(rule_id)])
+
+
+class TestRegistry:
+    def test_seven_domain_rules_registered(self):
+        ids = [r.rule_id for r in all_rules()]
+        assert ids == sorted(ids)
+        assert {f"R00{i}" for i in range(1, 8)} <= set(ids)
+
+    def test_every_rule_documents_its_invariant(self):
+        for rule in all_rules():
+            assert rule.title
+            assert len(rule.invariant) > 20
+            assert rule.node_types
+
+
+class TestR001GlobalRng:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "import random\nrandom.seed(7)\n",
+            "import random\nx = random.randint(0, 5)\n",
+            "import random\nrandom.shuffle(items)\n",
+            "from random import shuffle\n",
+            "import numpy as np\nnp.random.seed(0)\n",
+            "import numpy\nnumpy.random.rand(3)\n",
+            "from numpy.random import choice\n",
+        ],
+    )
+    def test_flags_global_rng(self, source):
+        findings = only("R001", source)
+        assert [f.rule_id for f in findings] == ["R001"]
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "import random\nrng = random.Random(7)\nrng.shuffle(items)\n",
+            "from random import Random\nrng = Random(7)\n",
+            "import numpy as np\nrng = np.random.default_rng(7)\n",
+            "from numpy.random import default_rng\n",
+            "import numpy as np\ng = np.random.Generator(np.random.PCG64(1))\n",
+            "value = config.random.choice\n",
+        ],
+    )
+    def test_allows_seeded_instances(self, source):
+        assert only("R001", source) == []
+
+
+class TestR002WallClock:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "import time\nt = time.time()\n",
+            "import time\nt = time.time_ns()\n",
+            "from time import time\n",
+            "import datetime\nnow = datetime.datetime.now()\n",
+            "from datetime import datetime\nnow = datetime.now()\n",
+            "from datetime import date\ntoday = date.today()\n",
+        ],
+    )
+    def test_flags_wall_clock(self, source):
+        findings = only("R002", source)
+        assert [f.rule_id for f in findings] == ["R002"]
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "import time\nt = time.monotonic()\n",
+            "import time\nt = time.perf_counter()\n",
+            "from time import monotonic, sleep\n",
+            "stamp = record.now\n",  # attribute on a non-datetime root
+        ],
+    )
+    def test_allows_monotonic(self, source):
+        assert only("R002", source) == []
+
+    def test_obs_owns_the_wall_clock(self):
+        source = "import time\nt = time.time()\n"
+        assert only("R002", source, path="src/repro/obs/tracer.py") == []
+        assert only("R002", source, path="src/repro/core/engine.py") != []
+
+
+class TestR003FloatEquality:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "ok = span_km == limit\n",
+            "ok = total_gbps != demand\n",
+            "ok = x == 0.5\n",
+            "ok = link.length_km == other\n",
+            "ok = a + offset_km == b\n",
+        ],
+    )
+    def test_flags_float_equality(self, source):
+        findings = only("R003", source)
+        assert [f.rule_id for f in findings] == ["R003"]
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "ok = span_km <= limit_km\n",
+            "ok = math.isclose(span_km, limit_km)\n",
+            "ok = n_fibers == 8\n",
+            "ok = count == 0\n",
+            "ok = name == 'DC1'\n",
+        ],
+    )
+    def test_allows_tolerant_or_integer_compares(self, source):
+        assert only("R003", source) == []
+
+
+class TestR004UnorderedIteration:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "for x in set(items):\n    use(x)\n",
+            "for x in set(a) | set(b):\n    use(x)\n",
+            "for x in {1, 2, 3}:\n    use(x)\n",
+            "out = [f(x) for x in set(items)]\n",
+            "out = {k: v for k in set(items)}\n",
+            "out = list(set(items))\n",
+            "out = ','.join(set(names))\n",
+            "for x in set(a).union(b):\n    use(x)\n",
+        ],
+    )
+    def test_flags_unordered_iteration(self, source):
+        findings = only("R004", source)
+        assert [f.rule_id for f in findings] == ["R004"]
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "for x in sorted(set(items)):\n    use(x)\n",
+            "out = sorted(set(a) | set(b))\n",
+            "out = ','.join(sorted(set(names)))\n",
+            "total = sum(f(x) for x in set(items))\n",
+            "best = max(x for x in set(items))\n",
+            "out = {f(x) for x in set(items)}\n",  # set -> set stays unordered
+            "n = len(set(items))\n",
+            "for x in items:\n    use(x)\n",
+        ],
+    )
+    def test_allows_order_insensitive_consumption(self, source):
+        assert only("R004", source) == []
+
+
+class TestR005ModuleState:
+    def test_flags_global_statements(self):
+        source = "x = 0\ndef bump():\n    global x\n    x += 1\n"
+        findings = only("R005", source)
+        assert [f.rule_id for f in findings] == ["R005"]
+        assert "'x'" in findings[0].message
+
+    def test_whitelists_hose_cache_and_tracer(self):
+        source = "_cache = None\ndef reset():\n    global _cache\n    _cache = 1\n"
+        assert only("R005", source, path="src/repro/core/hose.py") == []
+        assert only("R005", source, path="src/repro/obs/tracer.py") == []
+        assert only("R005", source, path="src/repro/core/engine.py") != []
+
+    def test_allows_nonlocal(self):
+        source = (
+            "def outer():\n    x = 0\n"
+            "    def inner():\n        nonlocal x\n        x += 1\n"
+        )
+        assert only("R005", source) == []
+
+
+class TestR006KeywordOnlyConfig:
+    def test_flags_positional_config_defaults(self):
+        source = "def plan_widget(region, prune=True, jobs=1):\n    pass\n"
+        findings = only("R006", source)
+        assert [f.rule_id for f in findings] == ["R006", "R006"]
+        assert "'prune'" in findings[0].message
+        assert "'jobs'" in findings[1].message
+
+    def test_allows_keyword_only_config(self):
+        source = "def plan_widget(region, *, prune=True, jobs=1):\n    pass\n"
+        assert only("R006", source) == []
+
+    def test_ignores_private_and_unrelated_functions(self):
+        assert only("R006", "def _plan_helper(a, b=1):\n    pass\n") == []
+        assert only("R006", "def summarize(a, b=1):\n    pass\n") == []
+
+    def test_required_positionals_are_fine(self):
+        assert only("R006", "def plan_widget(region, topology):\n    pass\n") == []
+
+
+class TestR007UnitMixing:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "total = span_km + tail_m\n",
+            "delta = start_s - offset_ms\n",
+            "ok = rate_gbps < limit_bps\n",
+            "bad = fiber_km + duration_s\n",
+        ],
+    )
+    def test_flags_unit_mixing(self, source):
+        findings = only("R007", source)
+        assert [f.rule_id for f in findings] == ["R007"]
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "total = span_km + tail_km\n",
+            "ratio = span_km / duration_s\n",  # division builds new units
+            "scaled = span_km * 2\n",
+            "budget = gain_db - loss_db\n",
+            "power = launch_dbm - loss_db\n",  # dBm +/- dB is the link-budget idiom
+            "x = alpha + beta\n",
+        ],
+    )
+    def test_allows_consistent_units(self, source):
+        assert only("R007", source) == []
+
+
+class TestSuppression:
+    def test_bare_noqa_suppresses_everything(self):
+        source = "import random\nrandom.seed(1)  # repro: noqa\n"
+        assert lint_source(source) == []
+
+    def test_targeted_noqa_suppresses_one_rule(self):
+        source = "import random\nrandom.seed(1)  # repro: noqa-R001\n"
+        assert lint_source(source) == []
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        source = "import random\nrandom.seed(1)  # repro: noqa-R004\n"
+        assert [f.rule_id for f in lint_source(source)] == ["R001"]
+
+    def test_multiple_rule_ids(self):
+        source = (
+            "import random\nimport time\n"
+            "x = (random.seed(1), time.time())  # repro: noqa-R001,R002\n"
+        )
+        assert lint_source(source) == []
+
+    def test_suppression_is_per_line(self):
+        source = (
+            "import random\n"
+            "random.seed(1)  # repro: noqa-R001\n"
+            "random.seed(2)\n"
+        )
+        findings = lint_source(source)
+        assert [(f.rule_id, f.line) for f in findings] == [("R001", 3)]
+
+
+class TestDriver:
+    def test_syntax_error_is_a_finding_not_a_crash(self):
+        findings = lint_source("def broken(:\n", path="bad.py")
+        assert [f.rule_id for f in findings] == ["R000"]
+        assert findings[0].path == "bad.py"
+
+    def test_findings_sort_by_position(self):
+        source = "import time\nb = time.time()\nimport random\na = random.seed(1)\n"
+        findings = lint_source(source)
+        assert [f.line for f in findings] == sorted(f.line for f in findings)
+
+    def test_format_is_clickable(self):
+        finding = lint_source("x = 1.0 == y\n", path="m.py")[0]
+        assert finding.format().startswith("m.py:1:")
+        assert "R003" in finding.format()
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        (sub / "bad.py").write_text("import random\nrandom.seed(1)\n")
+        findings = lint_paths([tmp_path])
+        assert [f.rule_id for f in findings] == ["R001"]
+
+    def test_missing_path_is_a_usage_error(self, tmp_path):
+        with pytest.raises(LintUsageError):
+            lint_paths([tmp_path / "missing"])
+
+    def test_no_python_files_is_a_usage_error(self, tmp_path):
+        (tmp_path / "notes.txt").write_text("nothing here\n")
+        with pytest.raises(LintUsageError):
+            lint_paths([tmp_path])
+
+
+class TestCliExitCodes:
+    def test_exit_0_on_clean_tree(self, tmp_path, capsys):
+        (tmp_path / "clean.py").write_text("x = 1\n")
+        assert cli_main(["lint", str(tmp_path)]) == 0
+
+    def test_exit_1_on_findings(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("import random\nrandom.seed(1)\n")
+        assert cli_main(["lint", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "R001" in out and "bad.py:2:" in out
+
+    def test_exit_2_on_usage_error(self, tmp_path, capsys):
+        assert cli_main(["lint", str(tmp_path / "missing")]) == 2
+        assert "usage error" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert cli_main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("R001", "R004", "R007"):
+            assert rule_id in out
+
+
+class TestShippedTreeIsClean:
+    def test_src_passes_reprolint(self):
+        assert lint_paths([REPO_ROOT / "src"]) == []

@@ -6,11 +6,7 @@ import pytest
 
 from repro.exceptions import SimulationError
 from repro.simulation.flowsim import FlowRecord
-from repro.simulation.metrics import (
-    SlowdownSummary,
-    finished_fcts,
-    slowdown_summary,
-)
+from repro.simulation.metrics import finished_fcts, slowdown_summary
 
 
 def record(size_bytes: float, fct: float, finished: bool = True) -> FlowRecord:

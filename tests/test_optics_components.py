@@ -71,8 +71,6 @@ class TestComponents:
         before = state.signal_dbm
         after = OpticalSpaceSwitch().propagate(state)
         # Signal and noise drop together: OSNR (ratio) unchanged.
-        import math
-
         ratio_before = 10 ** (before / 10) / state.noise_mw
         ratio_after = 10 ** (after.signal_dbm / 10) / after.noise_mw
         assert ratio_after == pytest.approx(ratio_before)

@@ -12,13 +12,10 @@ import random
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.core.failures import Scenario
-from repro.core.planner import IrisPlanner, plan_region
+from repro.core.planner import plan_region
 from repro.core.topology import plan_topology
 from repro.exceptions import InfeasibleRegionError, RegionError
-from repro.optics.constraints import violations
 from repro.region.fibermap import (
-    FiberMap,
     OperationalConstraints,
     RegionSpec,
     duct_key,

@@ -49,7 +49,7 @@ class TestLoadsAndAllocation:
         tm = heavy_tailed_matrix(cfg.dcs, random.Random(1))
         loads = pair_loads_bps(tm, cfg)
         dc_loads = {
-            dc: sum(l for p, l in loads.items() if dc in p) for dc in cfg.dcs
+            dc: sum(load for p, load in loads.items() if dc in p) for dc in cfg.dcs
         }
         busiest = max(dc_loads.values())
         assert busiest == pytest.approx(cfg.utilization * cfg.dc_capacity_bps)

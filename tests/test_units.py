@@ -1,7 +1,5 @@
 """Unit helpers and paper constants."""
 
-import math
-
 import pytest
 
 from repro import units

@@ -7,7 +7,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.exceptions import SimulationError
 from repro.simulation.workloads import (
-    SHORT_FLOW_BYTES,
     WORKLOADS,
     FlowSizeDistribution,
 )
