@@ -19,17 +19,20 @@ complete 240-point grid.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import TYPE_CHECKING, Any, Iterable
 
-from repro.core.engine import get_backend, map_in_chunks
+from repro.core.engine import get_backend
 from repro.core.planner import IrisPlanner
 from repro.cost.estimator import estimate_cost
-from repro.exceptions import InfeasibleRegionError, PlanningError
+from repro.exceptions import InfeasibleRegionError, PlanningError, ReproError
 from repro.cost.pricebook import PriceBook
 from repro.designs.eps import eps_inventory
 from repro.designs.hybrid import hybridize
-from repro.region.catalog import make_region
+from repro.region.catalog import RegionInstance, make_region
 from repro.region.fibermap import OperationalConstraints, RegionSpec
+
+if TYPE_CHECKING:
+    from repro.store import PlanStore
 
 
 @dataclass(frozen=True)
@@ -151,11 +154,79 @@ def _plan_sweep_point(
     return out
 
 
+def _cell_key(point: SweepPoint, failure_tolerance: int) -> str:
+    """The store key for one sweep cell's planning products.
+
+    A cell is one distinct (map, n, f) — planned once with the
+    wavelengths of its representative point — so the key covers exactly
+    the inputs :func:`_plan_sweep_point` consumes. Prices are absent by
+    design: pricing happens per point in the parent, on top of the cell.
+    """
+    from repro.store import artifact_key
+
+    return artifact_key(
+        "sweep-cell",
+        {
+            "map_index": point.map_index,
+            "n_dcs": point.n_dcs,
+            "dc_fibers": point.dc_fibers,
+            "wavelengths": point.wavelengths,
+            "failure_tolerance": failure_tolerance,
+            "catalog_seed": 2020,  # make_region's default ensemble seed
+        },
+    )
+
+
+def _encode_sweep_cell(cell: tuple) -> dict[str, Any]:
+    """The storable form of one ``_plan_sweep_point`` entry."""
+    from repro.serialize import plan_to_dict, region_to_dict, topology_to_dict
+
+    instance, plan, tol0_spec, tol0_topology = cell
+    return {
+        "instance": {
+            "name": instance.name,
+            "extent_km": instance.extent_km,
+            "hubs": list(instance.hubs),
+            "region": region_to_dict(instance.spec),
+        },
+        "plan": plan_to_dict(plan, full=True),
+        "tol0_region": region_to_dict(tol0_spec),
+        "tol0_topology": topology_to_dict(tol0_topology),
+    }
+
+
+def _decode_sweep_cell(payload: dict[str, Any]) -> tuple:
+    """Inverse of :func:`_encode_sweep_cell`; raises on malformed payloads."""
+    from repro.serialize import (
+        plan_from_dict,
+        region_from_dict,
+        topology_from_dict,
+    )
+
+    try:
+        inst = payload["instance"]
+        instance = RegionInstance(
+            name=inst["name"],
+            spec=region_from_dict(inst["region"]),
+            extent_km=float(inst["extent_km"]),
+            hubs=tuple(inst["hubs"]),
+        )
+        return (
+            instance,
+            plan_from_dict(payload["plan"]),
+            region_from_dict(payload["tol0_region"]),
+            topology_from_dict(payload["tol0_topology"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"malformed sweep cell: {exc}") from exc
+
+
 def run_sweep(
     points: Iterable[SweepPoint],
     prices: PriceBook | None = None,
     failure_tolerance: int = 2,
     jobs: int | None = 1,
+    store: "PlanStore | None" = None,
 ) -> list[SweepRecord]:
     """Plan and price every scenario. Plans are cached per (map, n, f)
     since the wavelength count only affects pricing.
@@ -163,6 +234,12 @@ def run_sweep(
     ``jobs`` fans the per-(map, n, f) planning out over worker processes
     (grid-point parallelism); pricing stays in the parent, so records are
     identical to a serial run.
+
+    ``store`` checkpoints each cell's planning products as that cell
+    finishes (not at the end of the sweep), so an interrupted campaign
+    resumed against the same store replans only the incomplete cells and
+    produces byte-identical records. Cached and fresh cells go through
+    the same pricing code, so warm records equal cold ones exactly.
     """
     prices = prices or PriceBook.default()
     sr_prices = prices.with_sr_priced_dci()
@@ -175,17 +252,41 @@ def run_sweep(
     for point in points:
         key = (point.map_index, point.n_dcs, point.dc_fibers)
         key_points.setdefault(key, point)
-    with get_backend(jobs) as backend:
-        planned = map_in_chunks(
-            backend,
-            _plan_sweep_point,
-            failure_tolerance,
-            list(key_points.values()),
-            # Each grid point is minutes of work at paper scale: chunk at
-            # one point per task so the pool load-balances.
-            chunks_per_worker=max(len(key_points), 1),
+
+    plan_cache: dict[tuple[int, int, int], tuple] = {}
+    pending: list[tuple[tuple[int, int, int], SweepPoint]] = []
+    for key, point in key_points.items():
+        cached = (
+            store.get(_cell_key(point, failure_tolerance))
+            if store is not None
+            else None
         )
-    plan_cache = dict(zip(key_points, planned))
+        if cached is not None:
+            try:
+                plan_cache[key] = _decode_sweep_cell(cached)
+                continue
+            except ReproError:
+                pass  # stale cell: replan it below, the put heals the entry
+        pending.append((key, point))
+
+    if pending:
+        # One point per chunk: the pool load-balances (each grid point is
+        # minutes of work at paper scale) and every completed cell can be
+        # checkpointed the moment its result streams back.
+        chunks = [[point] for _, point in pending]
+        with get_backend(jobs) as backend:
+            for (key, point), result in zip(
+                pending,
+                backend.iter_chunks(_plan_sweep_point, failure_tolerance, chunks),
+            ):
+                (cell,) = result
+                plan_cache[key] = cell
+                if store is not None:
+                    store.put(
+                        _cell_key(point, failure_tolerance),
+                        _encode_sweep_cell(cell),
+                        kind="sweep-cell",
+                    )
 
     records: list[SweepRecord] = []
     for point in points:

@@ -12,17 +12,27 @@ Subcommands map onto the paper's workflow:
 * ``analyze``   — latency inflation + siting flexibility over an ensemble
 * ``failover``  — a duct-cut drill through the control plane
 * ``lint``      — reprolint: domain-aware static analysis of planner invariants
+* ``store``     — inspect/maintain the content-addressed artifact store
 
 Any subcommand that accepts ``--trace``/``--trace-json PATH`` runs under
 :mod:`repro.obs` tracing: ``--trace`` prints the span tree (with counters)
 to stderr, ``--trace-json`` writes the trace as JSON lines. Tracing is off
 unless one of the flags is given.
+
+``plan`` and ``sweep`` accept ``--store DIR`` (default: the ``IRIS_STORE``
+environment variable) to checkpoint planning products in a
+:class:`repro.store.PlanStore`; ``--no-store`` opts out even when the
+variable is set. Cached results are bit-identical to fresh ones, so the
+commands' stdout does not change with cache warmth — store traffic is
+reported on stderr. ``iris sweep --resume`` requires a store and replans
+only the cells missing from it.
 """
 
 from __future__ import annotations
 
 import argparse
 import contextlib
+import os
 import sys
 from pathlib import Path
 
@@ -85,6 +95,40 @@ def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_store_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=os.environ.get("IRIS_STORE"),
+        help="artifact store directory (default: $IRIS_STORE)",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="run without the artifact store even if $IRIS_STORE is set",
+    )
+
+
+def _open_store(args):
+    """The command's :class:`PlanStore`, or ``None`` when storing is off."""
+    if getattr(args, "no_store", False) or not getattr(args, "store", None):
+        return None
+    from repro.store import PlanStore
+
+    return PlanStore(args.store)
+
+
+def _report_store_traffic(store) -> None:
+    """One stderr line of session traffic (stdout stays cache-invariant)."""
+    if store is None:
+        return
+    print(
+        f"store: {store.hits} hit(s), {store.misses} miss(es), "
+        f"{store.puts} put(s)",
+        file=sys.stderr,
+    )
+
+
 def _add_region_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--region-file", help="load a region JSON instead")
     parser.add_argument("--map-index", type=int, default=0, help="catalog map (0-9)")
@@ -127,8 +171,10 @@ def cmd_plan(args) -> int:
     from repro.serialize import plan_to_json
 
     region, _ = _load_region(args)
+    store = _open_store(args)
     with _maybe_traced(args):
-        plan = plan_region(region, jobs=args.jobs)
+        plan = plan_region(region, jobs=args.jobs, store=store)
+    _report_store_traffic(store)
     print(f"scenarios: {len(plan.topology.scenario_paths)} enumerated "
           f"(of {plan.topology.scenario_count_total} raw)")
     if plan.topology.timings is not None:
@@ -195,8 +241,17 @@ def cmd_sweep(args) -> int:
     points = full_paper_sweep() if args.full else default_mini_sweep()
     if args.limit:
         points = points[: args.limit]
+    store = _open_store(args)
+    if args.resume and store is None:
+        print(
+            "usage error: --resume needs an artifact store "
+            "(--store DIR or $IRIS_STORE)",
+            file=sys.stderr,
+        )
+        return 2
     with _maybe_traced(args):
-        records = run_sweep(points, jobs=args.jobs)
+        records = run_sweep(points, jobs=args.jobs, store=store)
+    _report_store_traffic(store)
     print(f"{'map':>4}{'n':>4}{'f':>4}{'lam':>5}{'EPS/Iris':>10}"
           f"{'EPS/Hybrid':>12}{'in-net':>8}{'EPS0/Iris2':>12}")
     for r in records:
@@ -341,6 +396,68 @@ def cmd_lint(args) -> int:
     return 0
 
 
+def _require_store(args):
+    """The store a ``store`` subcommand operates on, or ``None`` + usage error."""
+    if not args.store:
+        print(
+            "usage error: store commands need --store DIR or $IRIS_STORE",
+            file=sys.stderr,
+        )
+        return None
+    from repro.store import PlanStore
+
+    return PlanStore(args.store)
+
+
+def cmd_store_stats(args) -> int:
+    """Inventory the store (entries, blobs, bytes, kinds, session traffic)."""
+    import json
+
+    store = _require_store(args)
+    if store is None:
+        return 2
+    stats = store.stats()
+    if args.json:
+        print(json.dumps(stats.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"store: {stats.root}")
+    print(f"  entries: {stats.entries} ({stats.blobs} blob(s), "
+          f"{stats.total_bytes:,} bytes)")
+    for kind, count in sorted(stats.kinds.items()):
+        print(f"  kind {kind}: {count}")
+    if stats.orphan_blobs:
+        print(f"  orphan blobs: {stats.orphan_blobs} (run `iris store gc`)")
+    return 0
+
+
+def cmd_store_gc(args) -> int:
+    """Collect orphan blobs, stale tmp files, and dead manifest entries."""
+    store = _require_store(args)
+    if store is None:
+        return 2
+    result = store.gc()
+    print(f"removed {result.removed_blobs} blob(s), "
+          f"dropped {result.dropped_entries} manifest entr(ies), "
+          f"reclaimed {result.reclaimed_bytes:,} bytes")
+    return 0
+
+
+def cmd_store_verify(args) -> int:
+    """Re-verify every blob digest; exit 1 if problems were found."""
+    store = _require_store(args)
+    if store is None:
+        return 2
+    problems = store.verify(repair=args.repair)
+    for problem in problems:
+        print(problem)
+    if problems:
+        action = "repaired" if args.repair else "found"
+        print(f"{len(problems)} problem(s) {action}", file=sys.stderr)
+        return 1
+    print("store verified clean")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The iris argument parser."""
     parser = argparse.ArgumentParser(
@@ -358,6 +475,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_region_args(p)
     _add_jobs_arg(p)
     _add_trace_args(p)
+    _add_store_args(p)
     p.add_argument("--out", help="write plan JSON here")
     p.set_defaults(func=cmd_plan)
 
@@ -372,8 +490,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", help="the Fig 12 design-space sweep")
     p.add_argument("--full", action="store_true", help="run all 240 scenarios")
     p.add_argument("--limit", type=int, default=0, help="only the first N points")
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted sweep from the store (requires one)",
+    )
     _add_jobs_arg(p)
     _add_trace_args(p)
+    _add_store_args(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("simulate", help="flow-level Iris vs EPS comparison")
@@ -420,6 +544,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="print each rule id, title, and the invariant it guards",
     )
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "store",
+        help="inspect/maintain the content-addressed artifact store",
+    )
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+    for name, func, help_text in (
+        ("stats", cmd_store_stats, "inventory + session counters"),
+        ("gc", cmd_store_gc, "remove orphan blobs and dead manifest entries"),
+        ("verify", cmd_store_verify, "re-check every blob digest"),
+    ):
+        ps = store_sub.add_parser(name, help=help_text)
+        ps.add_argument(
+            "--store",
+            metavar="DIR",
+            default=os.environ.get("IRIS_STORE"),
+            help="artifact store directory (default: $IRIS_STORE)",
+        )
+        if name == "stats":
+            ps.add_argument(
+                "--json", action="store_true", help="machine-readable output"
+            )
+        if name == "verify":
+            ps.add_argument(
+                "--repair",
+                action="store_true",
+                help="delete corrupt blobs and fix the manifest",
+            )
+        ps.set_defaults(func=func)
 
     return parser
 

@@ -13,7 +13,10 @@ sweep) fan out over:
   via :class:`concurrent.futures.ProcessPoolExecutor`.
 
 Determinism contract: a backend runs ``fn(shared, chunk)`` over a list of
-chunks and returns the per-chunk results *in submission order*. Callers
+chunks and returns the per-chunk results *in submission order* —
+:meth:`~SerialBackend.run_chunks` as one list, or streamed result by
+result via :meth:`~SerialBackend.iter_chunks` so callers can checkpoint
+completed chunks as they land (how sweep resume persists cells). Callers
 partition work with :func:`partition` (contiguous, order-preserving) and
 merge with order-independent operations (per-duct maxima), so parallel
 plans are bit-identical to serial ones.
@@ -37,7 +40,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence, TypeVar
+from typing import Any, Callable, Iterator, Sequence, TypeVar
 
 from repro import obs
 from repro.exceptions import ReproError
@@ -118,6 +121,27 @@ class SerialBackend:
     name = "serial"
     jobs = 1
 
+    def iter_chunks(
+        self,
+        fn: Callable[[Any, list[T]], Any],
+        shared: Any,
+        chunks: Sequence[list[T]],
+    ) -> Iterator[Any]:
+        """Yield ``fn(shared, chunk)`` per chunk, in order, as computed.
+
+        The streaming form exists so callers can checkpoint each chunk's
+        result the moment it lands (sweep resume) instead of waiting for
+        the whole fan-out.
+        """
+        if not obs.enabled():
+            for chunk in chunks:
+                yield fn(shared, chunk)
+            return
+        for chunk in chunks:
+            result, record = _traced_chunk(fn, shared, chunk)
+            obs.attach(record)
+            yield result
+
     def run_chunks(
         self,
         fn: Callable[[Any, list[T]], Any],
@@ -125,14 +149,7 @@ class SerialBackend:
         chunks: Sequence[list[T]],
     ) -> list[Any]:
         """Apply ``fn(shared, chunk)`` to every chunk, in order."""
-        if not obs.enabled():
-            return [fn(shared, chunk) for chunk in chunks]
-        out: list[Any] = []
-        for chunk in chunks:
-            result, record = _traced_chunk(fn, shared, chunk)
-            obs.attach(record)
-            out.append(result)
-        return out
+        return list(self.iter_chunks(fn, shared, chunks))
 
     def close(self) -> None:
         """Nothing to release."""
@@ -169,6 +186,49 @@ class ProcessBackend:
             self._executor = ProcessPoolExecutor(max_workers=self.jobs)
         return self._executor
 
+    def iter_chunks(
+        self,
+        fn: Callable[[Any, list[T]], Any],
+        shared: Any,
+        chunks: Sequence[list[T]],
+    ) -> Iterator[Any]:
+        """Yield per-chunk results in submission order as workers finish.
+
+        Every chunk is submitted up front so the pool stays saturated;
+        results stream back in submission order (a slow early chunk delays
+        later yields but not later *work*). Callers that checkpoint per
+        yielded result therefore persist completed work long before the
+        full fan-out drains — the property sweep resume relies on.
+        """
+        chunks = list(chunks)
+        if not chunks:
+            return
+        traced = obs.enabled()
+        # A single chunk gains nothing from the pool round-trip.
+        if len(chunks) == 1:
+            if not traced:
+                yield fn(shared, chunks[0])
+                return
+            result, record = _traced_chunk(fn, shared, chunks[0])
+            obs.attach(record)
+            yield result
+            return
+        pool = self._pool()
+        if not traced:
+            futures: list[Future] = [
+                pool.submit(fn, shared, chunk) for chunk in chunks
+            ]
+            for future in futures:
+                yield future.result()
+            return
+        traced_futures: list[Future] = [
+            pool.submit(_traced_chunk, fn, shared, chunk) for chunk in chunks
+        ]
+        for future in traced_futures:
+            result, record = future.result()
+            obs.attach(record)
+            yield result
+
     def run_chunks(
         self,
         fn: Callable[[Any, list[T]], Any],
@@ -176,32 +236,7 @@ class ProcessBackend:
         chunks: Sequence[list[T]],
     ) -> list[Any]:
         """Apply ``fn(shared, chunk)`` across the pool; results in order."""
-        chunks = list(chunks)
-        if not chunks:
-            return []
-        traced = obs.enabled()
-        # A single chunk gains nothing from the pool round-trip.
-        if len(chunks) == 1:
-            if not traced:
-                return [fn(shared, chunks[0])]
-            result, record = _traced_chunk(fn, shared, chunks[0])
-            obs.attach(record)
-            return [result]
-        pool = self._pool()
-        if not traced:
-            futures: list[Future] = [
-                pool.submit(fn, shared, chunk) for chunk in chunks
-            ]
-            return [future.result() for future in futures]
-        traced_futures: list[Future] = [
-            pool.submit(_traced_chunk, fn, shared, chunk) for chunk in chunks
-        ]
-        out: list[Any] = []
-        for future in traced_futures:
-            result, record = future.result()
-            obs.attach(record)
-            out.append(result)
-        return out
+        return list(self.iter_chunks(fn, shared, chunks))
 
     def close(self) -> None:
         """Shut down the pool (idempotent)."""

@@ -11,6 +11,7 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro import obs
 from repro.core.amplifiers import place_amplifiers
@@ -18,8 +19,11 @@ from repro.core.cutthrough import place_cut_throughs
 from repro.core.plan import IrisPlan, TopologyPlan
 from repro.core.residual import residual_fiber_pairs
 from repro.core.topology import plan_topology
-from repro.exceptions import PlanningError
+from repro.exceptions import PlanningError, ReproError
 from repro.region.fibermap import RegionSpec
+
+if TYPE_CHECKING:
+    from repro.store import PlanStore
 
 
 @dataclass
@@ -100,16 +104,47 @@ def plan_region(
     prune_enumeration: bool = True,
     validate: bool = True,
     jobs: int | None = 1,
+    store: "PlanStore | None" = None,
 ) -> IrisPlan:
     """Plan ``region`` end to end (the one-call entry point).
 
     The parameters are explicit and keyword-only — a mistyped option fails
     loudly with a ``TypeError`` instead of being silently swallowed. They
     mirror :class:`IrisPlanner`'s fields; see there for semantics.
+
+    ``store``
+        An optional :class:`repro.store.PlanStore`. Plans are pure
+        functions of (region, config), so on a hit the cached plan is
+        loaded instead of replanned — bit-identical to a fresh one
+        (``plan_to_json`` equality, parity-tested) — and on a miss the
+        fresh plan is checkpointed for next time. ``jobs`` is an
+        execution detail and deliberately not part of the cache key.
     """
-    return IrisPlanner(
+    planner = IrisPlanner(
         region,
         prune_enumeration=prune_enumeration,
         validate=validate,
         jobs=jobs,
-    ).plan()
+    )
+    if store is None:
+        return planner.plan()
+
+    from repro.serialize import plan_from_dict, plan_to_dict
+    from repro.store import plan_key
+
+    key = plan_key(
+        design="iris",
+        region=region,
+        config={"prune_enumeration": prune_enumeration, "validate": validate},
+    )
+    cached = store.get(key)
+    if cached is not None:
+        try:
+            return plan_from_dict(cached)
+        except ReproError:
+            # Decodable-but-stale payload (schema drift inside one store
+            # schema version): treat as a miss and heal it below.
+            pass
+    plan = planner.plan()
+    store.put(key, plan_to_dict(plan, full=True), kind="plan")
+    return plan

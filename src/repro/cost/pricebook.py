@@ -25,6 +25,12 @@ from dataclasses import dataclass, replace
 
 from repro.exceptions import ReproError
 
+#: Version stamp folded into :mod:`repro.store` artifact keys. Bump when a
+#: :class:`PriceBook` field is added, removed, or changes meaning, so
+#: price-dependent cached artifacts from older schemas miss instead of
+#: silently pricing with stale semantics.
+PRICEBOOK_SCHEMA_VERSION = 1
+
 
 @dataclass(frozen=True)
 class PriceBook:

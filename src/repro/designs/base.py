@@ -20,11 +20,14 @@ classes remain available for callers that need full control.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
 
 from repro.cost.estimator import Inventory
 from repro.exceptions import ReproError
 from repro.region.fibermap import RegionSpec
+
+if TYPE_CHECKING:
+    from repro.store import PlanStore
 
 
 @runtime_checkable
@@ -62,7 +65,8 @@ def get_design(kind: str, **options) -> Design:
 
     ``options`` are forwarded to the designer's constructor (e.g.
     ``hubs=`` for ``"centralized"``, ``zone_count=`` for
-    ``"semidistributed"``, ``jobs=`` for the planner-backed kinds).
+    ``"semidistributed"``, ``jobs=`` and ``store=`` for the
+    planner-backed kinds).
     """
     try:
         factory = _REGISTRY[kind]
@@ -89,24 +93,37 @@ def _default_hubs(region: RegionSpec) -> tuple[str, ...]:
 @register_design("iris")
 @dataclass(frozen=True)
 class IrisDesign:
-    """The paper's all-optical fiber-switched design (§4), fully planned."""
+    """The paper's all-optical fiber-switched design (§4), fully planned.
+
+    An optional ``store`` checkpoints the underlying Iris plan in a
+    :class:`~repro.store.PlanStore`, so replanning the same region is a
+    load instead of a recompute (see :mod:`repro.store`).
+    """
 
     jobs: int | None = 1
+    store: "PlanStore | None" = None
 
     name = "iris"
 
     def plan(self, region: RegionSpec) -> Inventory:
         from repro.core.planner import plan_region
 
-        return plan_region(region, jobs=self.jobs).inventory()
+        return plan_region(region, jobs=self.jobs, store=self.store).inventory()
 
 
 @register_design("eps")
 @dataclass(frozen=True)
 class EPSDesign:
-    """The electrical packet-switched realization of Algorithm 1 (§4.2)."""
+    """The electrical packet-switched realization of Algorithm 1 (§4.2).
+
+    EPS shares Algorithm 1 with Iris but realizes it electrically, so the
+    cacheable artifact is the bare topology: with a ``store``, the planned
+    :class:`~repro.core.plan.TopologyPlan` is keyed under
+    ``design="eps"`` and loaded back bit-identically on later runs.
+    """
 
     jobs: int | None = 1
+    store: "PlanStore | None" = None
 
     name = "eps"
 
@@ -114,7 +131,22 @@ class EPSDesign:
         from repro.core.topology import plan_topology
         from repro.designs.eps import eps_inventory
 
-        return eps_inventory(region, plan_topology(region, jobs=self.jobs))
+        if self.store is None:
+            return eps_inventory(region, plan_topology(region, jobs=self.jobs))
+
+        from repro.serialize import topology_from_dict, topology_to_dict
+        from repro.store import plan_key
+
+        key = plan_key(design="eps", region=region)
+        cached = self.store.get(key)
+        if cached is not None:
+            try:
+                return eps_inventory(region, topology_from_dict(cached))
+            except ReproError:
+                pass  # stale payload: fall through and replan
+        topology = plan_topology(region, jobs=self.jobs)
+        self.store.put(key, topology_to_dict(topology), kind="topology")
+        return eps_inventory(region, topology)
 
 
 @register_design("hybrid")
@@ -124,6 +156,7 @@ class HybridDesign:
 
     jobs: int | None = 1
     max_combine: int = 4
+    store: "PlanStore | None" = None
 
     name = "hybrid"
 
@@ -131,7 +164,7 @@ class HybridDesign:
         from repro.core.planner import plan_region
         from repro.designs.hybrid import hybridize
 
-        plan = plan_region(region, jobs=self.jobs)
+        plan = plan_region(region, jobs=self.jobs, store=self.store)
         return hybridize(plan, max_combine=self.max_combine).inventory()
 
 

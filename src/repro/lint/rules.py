@@ -1,4 +1,4 @@
-"""The reprolint domain rules (R001-R007).
+"""The reprolint domain rules (R001-R008).
 
 Each rule guards one invariant the planner's correctness rests on — the
 properties the parity, golden-count, and serialization-determinism tests
@@ -13,6 +13,7 @@ R004   no iteration over unordered sets without ``sorted()``
 R005   no module-level mutable state outside the whitelist
 R006   public planner entry points keep config params keyword-only
 R007   no arithmetic mixing different unit suffixes
+R008   no non-atomic file writes inside ``repro.store``
 =====  ==========================================================
 
 The rules are syntactic: they see names and shapes, not types. That makes
@@ -481,3 +482,75 @@ def no_unit_mixing(node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
                 f"mixing unit suffixes '_{left_unit}' and '_{right_unit}' in "
                 "one expression; convert through repro.units first",
             )
+
+
+# --- R008: atomic writes in repro.store ---------------------------------------
+
+#: ``open()`` mode characters that make a call a write.
+_WRITE_MODE_CHARS = set("wax+")
+
+#: Method names that write a file in one call.
+_WRITE_METHODS = {"write_text", "write_bytes"}
+
+
+def _iter_scope(scope: ast.AST) -> Iterator[ast.AST]:
+    """All descendants of ``scope`` that belong to its own function scope.
+
+    Nested function bodies are skipped — they are dispatched to the rule
+    as scopes of their own — while classes and other compound statements
+    are traversed.
+    """
+    for child in ast.iter_child_nodes(scope):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield child
+        yield from _iter_scope(child)
+
+
+def _open_mode(call: ast.Call) -> str | None:
+    """The literal mode of an ``open()`` call, or None if absent/dynamic."""
+    mode: ast.expr | None = call.args[1] if len(call.args) >= 2 else None
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return None
+
+
+@rule(
+    "R008",
+    title="atomic writes in repro.store",
+    invariant=(
+        "every artifact-store write lands via a same-directory tmp file "
+        "published with os.replace, so concurrent readers observe either "
+        "the old file or the complete new one — never a torn blob"
+    ),
+    nodes=(ast.Module, ast.FunctionDef, ast.AsyncFunctionDef),
+)
+def atomic_store_writes(node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+    if "repro/store" not in ctx.module_path:
+        return
+    writes: list[tuple[ast.Call, str]] = []
+    for child in _iter_scope(node):
+        if not isinstance(child, ast.Call):
+            continue
+        func = child.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            mode = _open_mode(child)
+            if mode is not None and set(mode) & _WRITE_MODE_CHARS:
+                writes.append((child, f"open(..., {mode!r})"))
+        elif isinstance(func, ast.Attribute):
+            if func.attr in _WRITE_METHODS:
+                writes.append((child, f".{func.attr}(...)"))
+            elif func.attr == "replace" and _dotted_root(func) == "os":
+                # The scope publishes through os.replace: its tmp-file
+                # writes are the atomic idiom, not torn-write hazards.
+                return
+    for call, label in writes:
+        yield ctx.finding(
+            call,
+            "R008",
+            f"{label} in repro.store without os.replace in the same scope; "
+            "write a same-directory tmp file and publish it with os.replace",
+        )

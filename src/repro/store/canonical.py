@@ -1,0 +1,51 @@
+"""Canonical JSON encoding and digests: the store's addressing substrate.
+
+Content addressing only works if the same value always encodes to the
+same bytes. :func:`canonical_json` pins every degree of freedom JSON
+leaves open: keys sorted, no insignificant whitespace, ASCII-only escapes,
+NaN/Infinity rejected (they are not JSON and would never compare equal to
+themselves anyway). Floats use Python's shortest-repr float formatting,
+which is deterministic across platforms for IEEE-754 doubles and
+round-trips exactly, so an encode/decode/encode cycle is a fixpoint.
+
+Digests are plain SHA-256 over the UTF-8 canonical text. Keys and content
+addresses share the same 64-hex-digit namespace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.exceptions import ReproError
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical (deterministic, minimal) JSON text of ``value``.
+
+    Raises :class:`ReproError` for values outside the JSON model — the
+    store only persists plain dict/list/str/int/float/bool/None trees, so
+    a dataclass or a NaN reaching this boundary is a caller bug worth
+    failing loudly on.
+    """
+    try:
+        return json.dumps(
+            value,
+            sort_keys=True,
+            separators=(",", ":"),
+            ensure_ascii=True,
+            allow_nan=False,
+        )
+    except (TypeError, ValueError) as exc:
+        raise ReproError(f"value is not canonically serializable: {exc}") from exc
+
+
+def sha256_hex(text: str) -> str:
+    """Hex SHA-256 of ``text``'s UTF-8 bytes."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def digest(value: Any) -> str:
+    """The content address of a JSON-model value: SHA-256 of its canonical text."""
+    return sha256_hex(canonical_json(value))

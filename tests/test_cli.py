@@ -72,6 +72,80 @@ class TestSweepCommand:
         assert "EPS/Iris" in out
         assert "median" in out
 
+    def test_resume_without_store_is_a_usage_error(self, capsys):
+        assert main(["sweep", "--limit", "1", "--resume", "--no-store"]) == 2
+        assert "--resume needs an artifact store" in capsys.readouterr().err
+
+
+class TestStoreCommands:
+    def _args(self, tmp_path):
+        return ["--dcs", "4", "--tolerance", "1", "--store", str(tmp_path)]
+
+    def test_plan_cold_warm_stdout_identical(self, tmp_path, capsys):
+        assert main(["plan", *self._args(tmp_path)]) == 0
+        cold = capsys.readouterr()
+        assert main(["plan", *self._args(tmp_path)]) == 0
+        warm = capsys.readouterr()
+
+        def strip(out):  # the wall-time line legitimately differs
+            return [line for line in out.splitlines()
+                    if not line.startswith("planning time:")]
+
+        assert strip(cold.out) == strip(warm.out)
+        assert "1 miss(es)" in cold.err and "1 hit(s)" in warm.err
+
+    def test_sweep_cold_warm_stdout_identical(self, tmp_path, capsys):
+        args = ["sweep", "--limit", "2", "--store", str(tmp_path)]
+        assert main(args) == 0
+        cold = capsys.readouterr()
+        assert main([*args, "--resume"]) == 0
+        warm = capsys.readouterr()
+        assert cold.out == warm.out
+        assert "0 hit(s)" in cold.err and "0 miss(es)" in warm.err
+
+    def test_no_store_opts_out(self, tmp_path, capsys):
+        assert main(["plan", *self._args(tmp_path), "--no-store"]) == 0
+        captured = capsys.readouterr()
+        assert "store:" not in captured.err
+        assert not (tmp_path / "index.json").exists()
+
+    def test_stats_human_and_json(self, tmp_path, capsys):
+        assert main(["plan", *self._args(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["store", "stats", "--store", str(tmp_path)]) == 0
+        assert "kind plan: 1" in capsys.readouterr().out
+        assert main(["store", "stats", "--store", str(tmp_path), "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 1 and stats["kinds"] == {"plan": 1}
+
+    def test_verify_and_gc(self, tmp_path, capsys):
+        assert main(["plan", *self._args(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["store", "verify", "--store", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+        assert main(["store", "gc", "--store", str(tmp_path)]) == 0
+        assert "removed 0 blob(s)" in capsys.readouterr().out
+        # Corrupt the lone blob: verify flags it, --repair clears it.
+        blob = next((tmp_path / "objects").glob("*/*.json"))
+        blob.write_text("garbage")
+        assert main(["store", "verify", "--store", str(tmp_path)]) == 1
+        capsys.readouterr()
+        assert main(["store", "verify", "--store", str(tmp_path), "--repair"]) == 1
+        capsys.readouterr()
+        assert main(["store", "verify", "--store", str(tmp_path)]) == 0
+
+    def test_store_commands_need_a_store(self, capsys, monkeypatch):
+        monkeypatch.delenv("IRIS_STORE", raising=False)
+        assert main(["store", "stats"]) == 2
+        assert "need --store DIR or $IRIS_STORE" in capsys.readouterr().err
+
+    def test_iris_store_env_fallback(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("IRIS_STORE", str(tmp_path))
+        assert main(["plan", "--dcs", "4", "--tolerance", "1"]) == 0
+        assert "1 put(s)" in capsys.readouterr().err
+        assert main(["store", "stats"]) == 0
+        assert "entries: 1" in capsys.readouterr().out
+
 
 class TestSimulateCommand:
     def test_simulation(self, capsys):

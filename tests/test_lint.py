@@ -30,10 +30,10 @@ def only(rule_id: str, source: str, path: str = "pkg/mod.py") -> list[Finding]:
 
 
 class TestRegistry:
-    def test_seven_domain_rules_registered(self):
+    def test_eight_domain_rules_registered(self):
         ids = [r.rule_id for r in all_rules()]
         assert ids == sorted(ids)
-        assert {f"R00{i}" for i in range(1, 8)} <= set(ids)
+        assert {f"R00{i}" for i in range(1, 9)} <= set(ids)
 
     def test_every_rule_documents_its_invariant(self):
         for rule in all_rules():
@@ -240,6 +240,58 @@ class TestR007UnitMixing:
     )
     def test_allows_consistent_units(self, source):
         assert only("R007", source) == []
+
+
+class TestR008AtomicStoreWrites:
+    STORE_PATH = "src/repro/store/cas.py"
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            'def save(path, text):\n    with open(path, "w") as fh:\n        fh.write(text)\n',
+            'def save(path, text):\n    with open(path, mode="a") as fh:\n        fh.write(text)\n',
+            "def save(path, text):\n    path.write_text(text)\n",
+            "def save(path, data):\n    path.write_bytes(data)\n",
+            'open("index.json", "w")\n',  # module-level write
+        ],
+    )
+    def test_flags_non_atomic_store_writes(self, source):
+        findings = only("R008", source, path=self.STORE_PATH)
+        assert [f.rule_id for f in findings] == ["R008"]
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            # the blessed idiom: tmp file + os.replace in the same scope
+            'import os\ndef save(path, tmp, text):\n    with open(tmp, "w") as fh:\n        fh.write(text)\n    os.replace(tmp, path)\n',
+            "import os\ndef save(path, tmp, text):\n    tmp.write_text(text)\n    os.replace(tmp, path)\n",
+            # reads are always fine
+            'def load(path):\n    return open(path, "r").read()\n',
+            "def load(path):\n    return path.read_text()\n",
+            # dynamic modes are invisible to the syntactic rule
+            "def save(path, mode, text):\n    open(path, mode)\n",
+        ],
+    )
+    def test_allows_atomic_idiom_and_reads(self, source):
+        assert only("R008", source, path=self.STORE_PATH) == []
+
+    def test_scoped_to_the_store_package(self):
+        source = "def save(path, text):\n    path.write_text(text)\n"
+        assert only("R008", source, path="src/repro/serialize.py") == []
+        assert only("R008", source, path=self.STORE_PATH) != []
+
+    def test_nested_scopes_are_independent(self):
+        # The outer function's os.replace must not bless a nested
+        # function's bare write.
+        source = (
+            "import os\n"
+            "def outer(path, tmp, text):\n"
+            "    def inner(p, t):\n"
+            "        p.write_text(t)\n"
+            "    os.replace(tmp, path)\n"
+        )
+        findings = only("R008", source, path=self.STORE_PATH)
+        assert [f.rule_id for f in findings] == ["R008"]
 
 
 class TestSuppression:

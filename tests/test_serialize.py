@@ -9,6 +9,8 @@ from repro.exceptions import ReproError
 from repro.serialize import (
     fiber_map_from_dict,
     fiber_map_to_dict,
+    plan_from_dict,
+    plan_from_json,
     plan_to_dict,
     plan_to_json,
     region_from_json,
@@ -134,3 +136,90 @@ class TestInstrumentedPlanSerialization:
         with obs.tracing("audit"):
             traced_plan = plan_region(toy_region)
         assert plan_to_json(traced_plan) == plain
+
+
+class TestFullPlanRoundTrip:
+    """The lossless ``full=True`` encoding and its reconstruction."""
+
+    def test_encode_decode_is_a_fixpoint(self, toy_region):
+        plan = plan_region(toy_region)
+        encoded = plan_to_dict(plan, full=True)
+        restored = plan_from_dict(encoded)
+        # Fixpoint: re-encoding the reconstruction changes nothing.
+        assert plan_to_dict(restored, full=True) == encoded
+        # And so on, indefinitely.
+        assert plan_to_dict(plan_from_dict(plan_to_dict(restored, full=True)),
+                            full=True) == encoded
+
+    def test_fixpoint_on_failure_tolerant_region(self, small_region_instance):
+        plan = plan_region(small_region_instance.spec)
+        encoded = plan_to_dict(plan, full=True)
+        restored = plan_from_dict(encoded)
+        assert plan_to_dict(restored, full=True) == encoded
+        assert restored.validate() == []
+        assert restored.inventory() == plan.inventory()
+
+    def test_json_form_round_trips(self, toy_region):
+        plan = plan_region(toy_region)
+        text = plan_to_json(plan, full=True)
+        restored = plan_from_json(text)
+        assert plan_to_json(restored, full=True) == text
+        # The default summary of a loaded plan matches a fresh plan's.
+        assert plan_to_json(restored) == plan_to_json(plan)
+
+    def test_full_is_a_superset_of_the_summary(self, toy_region):
+        plan = plan_region(toy_region)
+        summary = plan_to_dict(plan)
+        encoded = plan_to_dict(plan, full=True)
+        assert summary == {
+            key: value for key, value in encoded.items() if key in summary
+        }
+        assert {"region", "scenario_paths", "amplifier_assignments",
+                "effective_paths"} <= set(encoded)
+
+    def test_summary_dict_rejected(self, toy_region):
+        with pytest.raises(ReproError, match="full=True"):
+            plan_from_dict(plan_to_dict(plan_region(toy_region)))
+
+    def test_wrong_version_rejected(self, toy_region):
+        encoded = plan_to_dict(plan_region(toy_region), full=True)
+        encoded["format_version"] = 999
+        with pytest.raises(ReproError, match="version"):
+            plan_from_dict(encoded)
+
+    def test_malformed_payload_rejected(self, toy_region):
+        encoded = plan_to_dict(plan_region(toy_region), full=True)
+        encoded["effective_paths"] = [{"bogus": 1}]
+        with pytest.raises(ReproError, match="malformed"):
+            plan_from_dict(encoded)
+
+    def test_loaded_timings_are_environment_invariant(self, toy_region):
+        restored = plan_from_dict(
+            plan_to_dict(plan_region(toy_region), full=True)
+        )
+        timings = restored.topology.timings
+        assert timings is not None and timings.backend == "store"
+        assert timings.total_s == 0.0
+
+
+class TestTopologyRoundTrip:
+    def test_encode_decode_is_a_fixpoint(self, toy_region):
+        from repro.core.topology import plan_topology
+        from repro.serialize import topology_from_dict, topology_to_dict
+
+        topology = plan_topology(toy_region)
+        encoded = topology_to_dict(topology)
+        restored = topology_from_dict(encoded)
+        assert topology_to_dict(restored) == encoded
+        assert restored.edge_capacity == topology.edge_capacity
+        assert restored.scenario_paths == topology.scenario_paths
+        assert restored.scenario_count_total == topology.scenario_count_total
+
+    def test_wrong_version_rejected(self, toy_region):
+        from repro.core.topology import plan_topology
+        from repro.serialize import topology_from_dict, topology_to_dict
+
+        encoded = topology_to_dict(plan_topology(toy_region))
+        encoded["format_version"] = 0
+        with pytest.raises(ReproError, match="version"):
+            topology_from_dict(encoded)
