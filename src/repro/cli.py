@@ -375,6 +375,8 @@ def _failover_drill(region) -> int:
 
 def cmd_lint(args) -> int:
     """Run reprolint; exit 0 clean, 1 findings, 2 usage error."""
+    import json
+
     from repro.lint import LintUsageError, all_rules, lint_paths
 
     if args.list_rules:
@@ -383,12 +385,25 @@ def cmd_lint(args) -> int:
             print(f"      {lint_rule.invariant}")
         return 0
     try:
-        findings = lint_paths(args.paths)
+        findings = lint_paths(
+            args.paths, report_unused_noqa=args.report_unused_noqa
+        )
     except LintUsageError as exc:
         print(f"usage error: {exc}", file=sys.stderr)
         return 2
-    for finding in findings:
-        print(finding.format())
+    if args.format == "json":
+        payload = {
+            "version": 1,
+            "findings": [finding.to_dict() for finding in findings],
+            "summary": {
+                "findings": len(findings),
+                "files_flagged": len({finding.path for finding in findings}),
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for finding in findings:
+            print(finding.format())
     if findings:
         flagged = len({finding.path for finding in findings})
         print(f"{len(findings)} finding(s) in {flagged} file(s)", file=sys.stderr)
@@ -542,6 +557,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="print each rule id, title, and the invariant it guards",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="findings output format (json feeds CI artifacts)",
+    )
+    p.add_argument(
+        "--report-unused-noqa",
+        action="store_true",
+        help="also flag '# repro: noqa' comments that suppress nothing (R900)",
     )
     p.set_defaults(func=cmd_lint)
 

@@ -148,9 +148,9 @@ class ChannelEmulatorDevice:
 
     def _check(self, live) -> frozenset[int]:
         live = frozenset(live)
-        bad = [c for c in live if not (0 <= c < self.channels)]
+        bad = sorted(c for c in live if not (0 <= c < self.channels))
         if bad:
-            raise DeviceError(f"{self.name}: channels out of range: {sorted(bad)}")
+            raise DeviceError(f"{self.name}: channels out of range: {bad}")
         return live
 
     def set_live(self, live: frozenset[int]) -> None:

@@ -88,11 +88,11 @@ def place_amplifiers(
         while pending:
             candidates: dict[str, set[Pair]] = defaultdict(set)
             hop_bonus: dict[str, set[Pair]] = defaultdict(set)
-            for pair in pending:
+            for pair in sorted(pending):
                 path = current[pair]
                 for span_index in amp_fix_candidates(path.profile()):
                     candidates[path.nodes[span_index + 1]].add(pair)
-            for pair in hop_constrained:
+            for pair in sorted(hop_constrained):
                 path = current[pair]
                 for span_index in amp_fix_candidates(path.profile()):
                     hop_bonus[path.nodes[span_index + 1]].add(pair)

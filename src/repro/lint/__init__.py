@@ -15,15 +15,24 @@ error) or import it from tests::
     assert lint_paths(["src"]) == []
     assert lint_source("import random\\nrandom.seed(1)\\n") != []
 
+Since v2 the rules sit on a flow-sensitive dataflow engine
+(:mod:`repro.lint.flow`): per-scope symbol tables and a unit/orderedness
+lattice propagate facts through assignments and branches, so aliased
+violations (``s = set(...); for x in s``) are caught too.
+
 Rules (see :mod:`repro.lint.rules` and ``iris lint --list-rules``):
 R001 global RNG state, R002 wall-clock reads, R003 float equality on unit
-quantities, R004 unordered set iteration, R005 module-level mutable state,
-R006 keyword-only planner config, R007 unit-suffix mixing. Intentional
-violations carry a ``# repro: noqa-RXXX`` comment on the flagged line.
+quantities, R004 unordered iteration, R005 module-level mutable state,
+R006 keyword-only planner config, R007 unit-tag mixing, R008 atomic store
+writes, R009 unordered data into serialization sinks, R010 return unit vs
+name suffix, R011 obs span/counter discipline. Intentional violations
+carry a ``# repro: noqa-RXXX`` comment anywhere in the flagged statement;
+``--report-unused-noqa`` (R900) keeps those escapes honest.
 """
 
 from repro.lint.driver import (
     LintUsageError,
+    Suppressions,
     iter_python_files,
     lint_file,
     lint_paths,
@@ -31,14 +40,27 @@ from repro.lint.driver import (
     suppressions,
 )
 from repro.lint.findings import Finding
+from repro.lint.flow import (
+    AbstractValue,
+    FlowInfo,
+    Orderedness,
+    analyze_flow,
+    unit_dimension,
+    unit_suffix,
+)
 from repro.lint.registry import FileContext, Rule, all_rules, get_rule, rule
 
 __all__ = [
+    "AbstractValue",
     "Finding",
     "FileContext",
+    "FlowInfo",
     "LintUsageError",
+    "Orderedness",
     "Rule",
+    "Suppressions",
     "all_rules",
+    "analyze_flow",
     "get_rule",
     "iter_python_files",
     "lint_file",
@@ -46,4 +68,6 @@ __all__ = [
     "lint_source",
     "rule",
     "suppressions",
+    "unit_dimension",
+    "unit_suffix",
 ]

@@ -1,26 +1,38 @@
-"""The reprolint per-file driver: parse, dispatch, suppress, report.
+"""The reprolint per-file driver: parse, analyze, dispatch, suppress, report.
 
-The driver walks each file's AST exactly once, handing every node to the
-rules registered for its type (:mod:`repro.lint.registry`). Findings on a
-line carrying a ``# repro: noqa`` comment are suppressed — either wholesale
-(``# repro: noqa``) or per rule (``# repro: noqa-R004`` or
-``# repro: noqa-R001,R004``). Suppressions match the *first* line of the
-flagged statement, the line reported in the finding.
+Two passes per file. **Pass 1** (:func:`repro.lint.flow.analyze_flow`)
+walks the AST once building per-scope symbol tables and the unit/orderedness
+lattice; **pass 2** walks it once more, handing every node to the rules
+registered for its type (:mod:`repro.lint.registry`) with the flow facts
+available on the context.
 
-Unparseable files produce a single ``R000`` finding at the syntax error
-rather than aborting the run, so one broken file cannot hide findings in
-the rest of the tree.
+Findings whose *statement* carries a ``# repro: noqa`` comment are
+suppressed — either wholesale (``# repro: noqa``) or per rule
+(``# repro: noqa-R004`` or ``# repro: noqa-R001,R004``). A suppression
+matches anywhere in the flagged statement's line span, so a comment on the
+closing line of a black-wrapped call still covers the finding reported on
+the call's first line. ``report_unused_noqa=True`` adds an ``R900``
+finding for every suppression comment that matched nothing, so stale
+escapes get cleaned up instead of silently disabling future rules.
+
+Unparseable files produce a single ``R000`` finding at the syntax error —
+and undecodable (non-UTF-8) files an ``R000`` at line 1 — rather than
+aborting the run, so one broken file cannot hide findings in the rest of
+the tree.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.exceptions import ReproError
 from repro.lint.findings import Finding
+from repro.lint.flow import analyze_flow
 from repro.lint.registry import FileContext, Rule, all_rules
 
 # Rules live in their own module purely for readability; importing it runs
@@ -41,31 +53,135 @@ _NOQA_RE = re.compile(
 _ALL = frozenset({"*"})
 
 
-def suppressions(source: str) -> dict[int, frozenset[str]]:
-    """Per-line suppression sets parsed from ``# repro: noqa`` comments."""
-    out: dict[int, frozenset[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        if "#" not in line:
+def _noqa_comments(source: str) -> list[tuple[int, int, frozenset[str]]]:
+    """(line, col, rule-set) for every real ``# repro: noqa`` comment.
+
+    Tokenized, not regexed over raw lines, so the string ``"# repro: noqa"``
+    inside a docstring or help text neither suppresses findings nor shows
+    up as an unused suppression.
+    """
+    out: list[tuple[int, int, frozenset[str]]] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return out
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
             continue
-        match = _NOQA_RE.search(line)
+        match = _NOQA_RE.search(token.string)
         if match is None:
             continue
         listed = match.group("rules")
         if listed is None:
-            out[lineno] = _ALL
+            ids = _ALL
         else:
             ids = frozenset(
                 part.strip().upper() for part in listed.split(",") if part.strip()
             )
-            out[lineno] = out.get(lineno, frozenset()) | ids
+        out.append((token.start[0], token.start[1] + 1, ids))
     return out
 
 
-def _suppressed(finding: Finding, by_line: dict[int, frozenset[str]]) -> bool:
-    active = by_line.get(finding.line)
-    if active is None:
-        return False
-    return active is _ALL or "*" in active or finding.rule_id in active
+def suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Per-line suppression sets parsed from ``# repro: noqa`` comments."""
+    out: dict[int, frozenset[str]] = {}
+    for lineno, _col, ids in _noqa_comments(source):
+        if ids is _ALL:
+            out[lineno] = _ALL
+        else:
+            existing = out.get(lineno, frozenset())
+            out[lineno] = _ALL if existing is _ALL else existing | ids
+    return out
+
+
+def _statement_spans(tree: ast.AST) -> list[tuple[int, int]]:
+    """(start, end) line spans a suppression comment extends over.
+
+    Simple statements span all their lines. Compound statements (``for``,
+    ``if``, ``def`` ...) contribute only their *header* — a noqa inside a
+    function body must not suppress findings on the ``def`` line — but the
+    header includes any decorator lines above it.
+    """
+    spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        for decorator in getattr(node, "decorator_list", []):
+            start = min(start, decorator.lineno)
+        end = getattr(node, "end_lineno", None) or node.lineno
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            end = max(node.lineno, body[0].lineno - 1)
+        spans.append((start, end))
+    return spans
+
+
+class Suppressions:
+    """Resolved ``# repro: noqa`` comments for one file, with usage tracking.
+
+    Each comment covers the full line span of every statement its line
+    belongs to (falling back to just its own line), so suppressions keep
+    working when a formatter wraps the flagged statement. ``suppresses``
+    marks matching comments used; :meth:`unused` reports the rest.
+    """
+
+    def __init__(self, source: str, tree: ast.AST | None = None) -> None:
+        self.by_comment: dict[int, frozenset[str]] = {}
+        self._cols: dict[int, int] = {}
+        for lineno, col, ids in _noqa_comments(source):
+            if ids is _ALL or self.by_comment.get(lineno) is _ALL:
+                self.by_comment[lineno] = _ALL
+            else:
+                existing = self.by_comment.get(lineno, frozenset())
+                self.by_comment[lineno] = existing | ids
+            self._cols.setdefault(lineno, col)
+        spans = _statement_spans(tree) if tree is not None else []
+        self._covering: dict[int, list[int]] = {}
+        for comment_line in self.by_comment:
+            covered = {comment_line}
+            for start, end in spans:
+                if start <= comment_line <= end:
+                    covered.update(range(start, end + 1))
+            for line in sorted(covered):
+                self._covering.setdefault(line, []).append(comment_line)
+        self._used: set[int] = set()
+
+    def suppresses(self, finding: Finding) -> bool:
+        """Whether any comment covers this finding (marking it used)."""
+        hit = False
+        for comment_line in self._covering.get(finding.line, ()):
+            active = self.by_comment[comment_line]
+            if active is _ALL or "*" in active or finding.rule_id in active:
+                self._used.add(comment_line)
+                hit = True
+        return hit
+
+    def unused(self) -> list[int]:
+        """Comment lines that suppressed nothing."""
+        return sorted(set(self.by_comment) - self._used)
+
+    def unused_findings(self, path: str) -> list[Finding]:
+        """One ``R900`` finding per suppression that never matched."""
+        out = []
+        for line in self.unused():
+            active = self.by_comment[line]
+            label = (
+                "# repro: noqa"
+                if active is _ALL
+                else "# repro: noqa-" + ",".join(sorted(active))
+            )
+            out.append(
+                Finding(
+                    path,
+                    line,
+                    self._cols.get(line, 1),
+                    "R900",
+                    f"unused suppression {label!r}: no finding matched; "
+                    "delete it so it cannot mask future violations",
+                )
+            )
+        return out
 
 
 def _parent_map(tree: ast.AST) -> dict[ast.AST, ast.AST]:
@@ -81,12 +197,15 @@ def lint_source(
     path: str = "<string>",
     *,
     rules: Sequence[Rule] | None = None,
+    report_unused_noqa: bool = False,
 ) -> list[Finding]:
     """Lint one source string; returns sorted, suppression-filtered findings.
 
     ``path`` is used both for reporting and for rule exemption matching
     (e.g. R002 is exempt under ``repro/obs/``). ``rules`` restricts the
     pass to a subset (tests use this to exercise one rule in isolation).
+    ``report_unused_noqa`` adds R900 findings for suppression comments
+    that matched nothing.
     """
     display = str(path)
     ctx = FileContext(
@@ -107,6 +226,7 @@ def lint_source(
             )
         ]
     ctx.parents = _parent_map(tree)
+    ctx.flow = analyze_flow(tree)  # pass 1: symbol tables + lattice
 
     selected = all_rules() if rules is None else tuple(rules)
     dispatch: dict[type, list[Rule]] = {}
@@ -117,22 +237,51 @@ def lint_source(
             dispatch.setdefault(node_type, []).append(selected_rule)
 
     found: list[Finding] = []
-    for node in ast.walk(tree):
+    for node in ast.walk(tree):  # pass 2: rule dispatch
         for active_rule in dispatch.get(type(node), ()):
             found.extend(active_rule.check(node, ctx))
 
-    by_line = suppressions(source)
-    return sorted(f for f in found if not _suppressed(f, by_line))
+    supp = Suppressions(source, tree)
+    kept = [f for f in found if not supp.suppresses(f)]
+    if report_unused_noqa:
+        kept.extend(supp.unused_findings(display))
+    return sorted(kept)
 
 
-def lint_file(path: str | Path, *, rules: Sequence[Rule] | None = None) -> list[Finding]:
-    """Lint one file on disk."""
+def lint_file(
+    path: str | Path,
+    *,
+    rules: Sequence[Rule] | None = None,
+    report_unused_noqa: bool = False,
+) -> list[Finding]:
+    """Lint one file on disk.
+
+    A file that is not valid UTF-8 yields an ``R000`` finding (like a
+    syntax error) instead of crashing the whole run; unreadable paths are
+    a :class:`LintUsageError`.
+    """
     file_path = Path(path)
     try:
         source = file_path.read_text(encoding="utf-8")
+    except UnicodeDecodeError as exc:
+        return [
+            Finding(
+                str(file_path),
+                1,
+                1,
+                "R000",
+                f"file is not valid UTF-8 ({exc.reason} at byte {exc.start}); "
+                "reprolint only analyzes UTF-8 Python sources",
+            )
+        ]
     except OSError as exc:
         raise LintUsageError(f"cannot read {file_path}: {exc}") from exc
-    return lint_source(source, path=str(file_path), rules=rules)
+    return lint_source(
+        source,
+        path=str(file_path),
+        rules=rules,
+        report_unused_noqa=report_unused_noqa,
+    )
 
 
 def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
@@ -150,7 +299,10 @@ def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
 
 
 def lint_paths(
-    paths: Iterable[str | Path], *, rules: Sequence[Rule] | None = None
+    paths: Iterable[str | Path],
+    *,
+    rules: Sequence[Rule] | None = None,
+    report_unused_noqa: bool = False,
 ) -> list[Finding]:
     """Lint files and/or directory trees; the ``iris lint`` workhorse.
 
@@ -163,5 +315,7 @@ def lint_paths(
         raise LintUsageError("no Python files to lint under the given paths")
     findings: list[Finding] = []
     for file_path in files:
-        findings.extend(lint_file(file_path, rules=rules))
+        findings.extend(
+            lint_file(file_path, rules=rules, report_unused_noqa=report_unused_noqa)
+        )
     return sorted(findings)

@@ -23,3 +23,13 @@ class Finding:
     def format(self) -> str:
         """The canonical one-line report form (``path:line:col: RXXX msg``)."""
         return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready form, used by ``iris lint --format json``."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }

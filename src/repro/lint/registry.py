@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator
 
 from repro.lint.findings import Finding
+from repro.lint.flow import UNKNOWN_VALUE, AbstractValue, FlowInfo
 
 #: A rule body: yields findings for one dispatched node.
 CheckFn = Callable[[ast.AST, "FileContext"], Iterator[Finding]]
@@ -34,6 +35,8 @@ class FileContext:
     source: str
     #: Child node -> parent node, for rules that need enclosing context.
     parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+    #: Flow facts from the driver's pass 1 (:mod:`repro.lint.flow`).
+    flow: FlowInfo | None = None
 
     def finding(self, node: ast.AST, rule_id: str, message: str) -> Finding:
         """A finding anchored at ``node``'s position in this file."""
@@ -44,6 +47,18 @@ class FileContext:
     def parent(self, node: ast.AST) -> ast.AST | None:
         """The AST parent of ``node`` (None at module level)."""
         return self.parents.get(node)
+
+    def value_of(self, node: ast.AST) -> AbstractValue:
+        """The flow-inferred abstract value of an expression."""
+        if self.flow is None:
+            return UNKNOWN_VALUE
+        return self.flow.value_of(node)
+
+    def returns_of(self, func: ast.AST) -> tuple[tuple[ast.Return, AbstractValue], ...]:
+        """Flow-collected ``return`` statements of a function scope."""
+        if self.flow is None:
+            return ()
+        return self.flow.returns_of(func)
 
     def is_exempt(self, fragments: Iterable[str]) -> bool:
         """Whether this file matches any exemption path fragment."""

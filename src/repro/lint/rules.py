@@ -1,4 +1,4 @@
-"""The reprolint domain rules (R001-R008).
+"""The reprolint domain rules (R001-R011).
 
 Each rule guards one invariant the planner's correctness rests on — the
 properties the parity, golden-count, and serialization-determinism tests
@@ -8,18 +8,27 @@ failures:
 =====  ==========================================================
 R001   no global RNG state (seeded instances only)
 R002   no wall-clock reads outside ``repro.obs``
-R003   no float ``==``/``!=`` on unit-suffixed quantities
-R004   no iteration over unordered sets without ``sorted()``
+R003   no float ``==``/``!=`` on unit-tagged quantities
+R004   no iteration over unordered collections without ``sorted()``
 R005   no module-level mutable state outside the whitelist
 R006   public planner entry points keep config params keyword-only
-R007   no arithmetic mixing different unit suffixes
+R007   no arithmetic/comparison mixing different unit tags
 R008   no non-atomic file writes inside ``repro.store``
+R009   no unordered value reaching a serialization/store-key sink
+R010   function return unit matches its ``_km``/``_db`` name suffix
+R011   obs spans entered via the facade; counter keys deterministic
 =====  ==========================================================
 
-The rules are syntactic: they see names and shapes, not types. That makes
-them fast and zero-dependency, at the cost of not tracking values through
-assignments (``s = set(...); for x in s`` is invisible to R004). Findings
-that are intentional carry a ``# repro: noqa-RXXX`` suppression.
+Since v2 the rules are *flow-sensitive*: the driver's pass 1
+(:mod:`repro.lint.flow`) propagates unit and orderedness tags through
+assignments, branches, comprehensions, and returns, so
+``s = set(...); for x in s`` is just as visible to R004 as the literal
+form, and R007 catches ``x = span_km; y = x + loss_db`` through the
+alias. The analysis stays intra-procedural — values crossing function
+boundaries reset to unknown — which keeps it one walk per file and makes
+every finding explainable by code within the flagged function. Findings
+that are intentional carry a ``# repro: noqa-RXXX`` suppression, which
+matches anywhere in the flagged statement's line span.
 """
 
 from __future__ import annotations
@@ -28,6 +37,12 @@ import ast
 from typing import Iterator
 
 from repro.lint.findings import Finding
+from repro.lint.flow import (
+    AbstractValue,
+    Orderedness,
+    unit_dimension,
+    unit_suffix,
+)
 from repro.lint.registry import FileContext, rule
 
 
@@ -173,33 +188,6 @@ def no_wall_clock(node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
 
 # --- R003: float equality on quantities --------------------------------------
 
-#: Identifier suffixes naming float-valued physical quantities.
-_FLOAT_UNIT_SUFFIXES = {
-    "km",
-    "m",
-    "db",
-    "dbm",
-    "mw",
-    "gbps",
-    "mbps",
-    "tbps",
-    "bps",
-    "s",
-    "ms",
-    "us",
-    "ns",
-    "hz",
-    "ghz",
-}
-
-
-def _unit_suffix(name: str) -> str | None:
-    """The unit suffix of an identifier (``span_km`` -> ``km``), or None."""
-    if "_" not in name:
-        return None
-    suffix = name.rsplit("_", 1)[-1].lower()
-    return suffix if suffix in _FLOAT_UNIT_SUFFIXES else None
-
 
 def _quantity_leaves(node: ast.expr) -> Iterator[ast.expr]:
     """Leaf operands of an arithmetic expression (through BinOp/UnaryOp)."""
@@ -212,14 +200,26 @@ def _quantity_leaves(node: ast.expr) -> Iterator[ast.expr]:
         yield node
 
 
-def _is_float_quantity(leaf: ast.expr) -> bool:
+def _quantity_label(leaf: ast.expr) -> str:
+    if isinstance(leaf, ast.Name):
+        return leaf.id
+    if isinstance(leaf, ast.Attribute):
+        return leaf.attr
+    if isinstance(leaf, ast.Constant):
+        return repr(leaf.value)
+    return ast.unparse(leaf)
+
+
+def _is_float_quantity(leaf: ast.expr, ctx: FileContext) -> bool:
+    """A float literal, a unit-suffixed name, or a flow-tagged quantity."""
     if isinstance(leaf, ast.Constant):
         return isinstance(leaf.value, float)
-    if isinstance(leaf, ast.Name):
-        return _unit_suffix(leaf.id) is not None
-    if isinstance(leaf, ast.Attribute):
-        return _unit_suffix(leaf.attr) is not None
-    return False
+    if isinstance(leaf, ast.Name) and unit_suffix(leaf.id) is not None:
+        return True
+    if isinstance(leaf, ast.Attribute) and unit_suffix(leaf.attr) is not None:
+        return True
+    # Flow-sensitive: an alias of a quantity is a quantity.
+    return ctx.value_of(leaf).unit is not None
 
 
 @rule(
@@ -239,19 +239,14 @@ def no_float_equality(node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
     operands = [node.left, *node.comparators]
     for operand in operands:
         for leaf in _quantity_leaves(operand):
-            if _is_float_quantity(leaf):
-                label = (
-                    leaf.id
-                    if isinstance(leaf, ast.Name)
-                    else leaf.attr
-                    if isinstance(leaf, ast.Attribute)
-                    else repr(leaf.value)  # type: ignore[union-attr]
-                )
+            if _is_float_quantity(leaf, ctx):
+                value = ctx.value_of(leaf)
                 yield ctx.finding(
                     node,
                     "R003",
-                    f"float equality on quantity {label!r}; use math.isclose "
-                    "or an integer unit (fibers, wavelengths)",
+                    f"float equality on quantity {_quantity_label(leaf)!r}"
+                    f"{value.describe()}; use math.isclose or an integer "
+                    "unit (fibers, wavelengths)",
                 )
                 return
 
@@ -278,8 +273,8 @@ _ORDER_INSENSITIVE_CALLS = {
 }
 
 
-def _is_unordered(expr: ast.expr) -> bool:
-    """Whether ``expr`` syntactically evaluates to an unordered set."""
+def _syntactically_unordered(expr: ast.expr) -> bool:
+    """Whether ``expr`` is an unordered set by shape alone (no flow)."""
     if isinstance(expr, (ast.Set, ast.SetComp)):
         return True
     if isinstance(expr, ast.Call):
@@ -289,13 +284,30 @@ def _is_unordered(expr: ast.expr) -> bool:
         if (
             isinstance(func, ast.Attribute)
             and func.attr in _SET_METHODS
-            and _is_unordered(func.value)
+            and _syntactically_unordered(func.value)
         ):
             return True
         return False
     if isinstance(expr, ast.BinOp) and isinstance(expr.op, _SET_ALGEBRA_OPS):
-        return _is_unordered(expr.left) or _is_unordered(expr.right)
+        return _syntactically_unordered(expr.left) or _syntactically_unordered(
+            expr.right
+        )
     return False
+
+
+def _unordered_value(expr: ast.expr, ctx: FileContext) -> AbstractValue | None:
+    """The expression's abstract value if it may iterate nondeterministically.
+
+    Flow-sensitive: ``s = set(...); for x in s`` resolves through the
+    symbol table; the syntactic shapes remain as a fallback so the rule
+    keeps working even on expressions the flow pass did not reach.
+    """
+    value = ctx.value_of(expr)
+    if value.is_unordered:
+        return value
+    if _syntactically_unordered(expr):
+        return AbstractValue(ordered=Orderedness.UNORDERED)
+    return None
 
 
 def _consumed_order_insensitively(node: ast.AST, ctx: FileContext) -> bool:
@@ -309,28 +321,37 @@ def _consumed_order_insensitively(node: ast.AST, ctx: FileContext) -> bool:
 
 
 _R004_MSG = (
-    "iteration order of a set is undefined across processes and runs; wrap "
-    "in sorted(...) before it reaches serialization or scenario enumeration"
+    "iteration order of an unordered collection is undefined across "
+    "processes and runs; wrap in sorted(...) before it reaches "
+    "serialization or scenario enumeration"
 )
+
+
+def _r004_finding(
+    node: ast.AST, value: AbstractValue, ctx: FileContext
+) -> Finding:
+    return ctx.finding(node, "R004", _R004_MSG + value.describe())
 
 
 @rule(
     "R004",
-    title="no unordered set iteration",
+    title="no unordered iteration",
     invariant=(
         "serialized plans and enumerated scenarios are byte-identical across "
         "runs, worker counts, and PYTHONHASHSEED; set iteration order is none "
-        "of those"
+        "of those — even through an alias"
     ),
     nodes=(ast.For, ast.AsyncFor, ast.comprehension, ast.Call),
 )
 def no_unordered_iteration(node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
     if isinstance(node, (ast.For, ast.AsyncFor)):
-        if _is_unordered(node.iter):
-            yield ctx.finding(node.iter, "R004", _R004_MSG)
+        value = _unordered_value(node.iter, ctx)
+        if value is not None:
+            yield _r004_finding(node.iter, value, ctx)
         return
     if isinstance(node, ast.comprehension):
-        if not _is_unordered(node.iter):
+        value = _unordered_value(node.iter, ctx)
+        if value is None:
             return
         # The enclosing comprehension decides whether order can matter: a
         # SetComp's own result is unordered (flagged where *it* is consumed),
@@ -342,17 +363,20 @@ def no_unordered_iteration(node: ast.AST, ctx: FileContext) -> Iterator[Finding]
             enclosing, ctx
         ):
             return
-        yield ctx.finding(node.iter, "R004", _R004_MSG)
+        yield _r004_finding(node.iter, value, ctx)
         return
     assert isinstance(node, ast.Call)
     func = node.func
     arg = node.args[0] if node.args else None
-    if arg is None or not _is_unordered(arg):
+    if arg is None:
+        return
+    value = _unordered_value(arg, ctx)
+    if value is None:
         return
     is_conversion = isinstance(func, ast.Name) and func.id in _ORDER_SENSITIVE_CALLS
     is_join = isinstance(func, ast.Attribute) and func.attr == "join"
     if (is_conversion or is_join) and not _consumed_order_insensitively(node, ctx):
-        yield ctx.finding(arg, "R004", _R004_MSG)
+        yield _r004_finding(arg, value, ctx)
 
 
 # --- R005: module-level mutable state -----------------------------------------
@@ -423,43 +447,45 @@ def keyword_only_config(node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
 
 # --- R007: unit-suffix mixing -------------------------------------------------
 
-#: Suffixes R007 tracks. Same-dimension conversions must route through
-#: repro.units; cross-dimension sums are always bugs. dB quantities are
-#: excluded: dB +/- dBm arithmetic is the legitimate link-budget idiom.
-_MIXABLE_UNITS = {
-    "km",
-    "m",
-    "s",
-    "ms",
-    "us",
-    "ns",
-    "gbps",
-    "mbps",
-    "tbps",
-    "bps",
-}
+#: Unit pairs whose +/- arithmetic is the legitimate link-budget idiom:
+#: absolute power (dBm) shifted by a relative gain/loss (dB).
+_LINK_BUDGET_PAIR = frozenset({"db", "dbm"})
 
 
-def _operand_unit(expr: ast.expr) -> str | None:
+def _operand_unit(expr: ast.expr, ctx: FileContext) -> str | None:
+    """The unit tag of an operand: declared suffix first, then flow."""
     if isinstance(expr, ast.Name):
-        name = expr.id
+        suffix = unit_suffix(expr.id)
+        if suffix is not None:
+            return suffix
     elif isinstance(expr, ast.Attribute):
-        name = expr.attr
+        suffix = unit_suffix(expr.attr)
+        if suffix is not None:
+            return suffix
+    return ctx.value_of(expr).unit
+
+
+def _mixing_message(left_unit: str, right_unit: str) -> str:
+    left_dim = unit_dimension(left_unit)
+    right_dim = unit_dimension(right_unit)
+    if left_dim != right_dim:
+        scale = f"{left_dim} with {right_dim} never makes sense"
     else:
-        return None
-    if "_" not in name:
-        return None
-    suffix = name.rsplit("_", 1)[-1].lower()
-    return suffix if suffix in _MIXABLE_UNITS else None
+        scale = "convert through repro.units first"
+    return (
+        f"mixing unit tags '_{left_unit}' and '_{right_unit}' in one "
+        f"expression; {scale}"
+    )
 
 
 @rule(
     "R007",
-    title="no unit-suffix mixing",
+    title="no unit-tag mixing",
     invariant=(
-        "distances are km, times are seconds, rates are Gbps throughout; "
-        "adding or comparing identifiers with different unit suffixes "
-        "bypasses the repro.units conversion helpers"
+        "distances are km, times are seconds, rates are Gbps, powers are "
+        "dBm throughout; adding or comparing quantities with different "
+        "unit tags — directly or through an alias — bypasses the "
+        "repro.units conversion helpers"
     ),
     nodes=(ast.BinOp, ast.Compare),
 )
@@ -468,20 +494,22 @@ def no_unit_mixing(node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
         if not isinstance(node.op, (ast.Add, ast.Sub)):
             return
         operand_pairs = [(node.left, node.right)]
+        link_budget_ok = True
     else:
         assert isinstance(node, ast.Compare)
         chain = [node.left, *node.comparators]
         operand_pairs = list(zip(chain, chain[1:]))
+        # Comparing a relative dB level against an absolute dBm power is
+        # a bug even though their +/- arithmetic is the budget idiom.
+        link_budget_ok = False
     for left, right in operand_pairs:
-        left_unit = _operand_unit(left)
-        right_unit = _operand_unit(right)
-        if left_unit and right_unit and left_unit != right_unit:
-            yield ctx.finding(
-                node,
-                "R007",
-                f"mixing unit suffixes '_{left_unit}' and '_{right_unit}' in "
-                "one expression; convert through repro.units first",
-            )
+        left_unit = _operand_unit(left, ctx)
+        right_unit = _operand_unit(right, ctx)
+        if not left_unit or not right_unit or left_unit == right_unit:
+            continue
+        if link_budget_ok and {left_unit, right_unit} == _LINK_BUDGET_PAIR:
+            continue
+        yield ctx.finding(node, "R007", _mixing_message(left_unit, right_unit))
 
 
 # --- R008: atomic writes in repro.store ---------------------------------------
@@ -554,3 +582,155 @@ def atomic_store_writes(node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
             f"{label} in repro.store without os.replace in the same scope; "
             "write a same-directory tmp file and publish it with os.replace",
         )
+
+
+# --- R009: unordered data escaping into serialization --------------------------
+
+#: Callables whose output bytes depend on input iteration order: the
+#: store's canonical encoding and key construction (repro.store.canonical
+#: / repro.store.keys), lossless plan serialization, and raw json.dumps.
+#: canonical_json sorts *dict keys* but a set value crashes it and a
+#: list-built-from-a-set silently changes the digest run to run.
+_SERIALIZATION_SINKS = frozenset(
+    {
+        "canonical_json",
+        "digest",
+        "sha256_hex",
+        "artifact_key",
+        "plan_key",
+        "plan_to_dict",
+        "plan_to_json",
+        "topology_to_dict",
+        "dumps",
+    }
+)
+
+
+@rule(
+    "R009",
+    title="no unordered data into serialization",
+    invariant=(
+        "cache keys and serialized artifacts are byte-identical across "
+        "runs and PYTHONHASHSEED; any set — even buried in a dict passed "
+        "through an alias — that reaches canonical_json/digest/plan_key "
+        "makes the same plan hash differently on the next run"
+    ),
+    nodes=(ast.Call,),
+)
+def no_unordered_serialization(node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+    assert isinstance(node, ast.Call)
+    func = node.func
+    fname = (
+        func.id
+        if isinstance(func, ast.Name)
+        else func.attr
+        if isinstance(func, ast.Attribute)
+        else None
+    )
+    if fname not in _SERIALIZATION_SINKS:
+        return
+    arguments = [*node.args, *(kw.value for kw in node.keywords)]
+    for arg in arguments:
+        value = _unordered_value(arg, ctx)
+        if value is not None:
+            yield ctx.finding(
+                arg,
+                "R009",
+                f"unordered value reaches serialization sink {fname}()"
+                f"{value.describe()}; its iteration order would leak into "
+                "canonical bytes — sort it into a list first",
+            )
+
+
+# --- R010: return unit consistent with the function's name suffix --------------
+
+
+@rule(
+    "R010",
+    title="return unit matches name suffix",
+    invariant=(
+        "a function named *_km returns kilometres — callers convert based "
+        "on the suffix alone, so a body that returns a value tagged with a "
+        "different unit silently corrupts every downstream computation"
+    ),
+    nodes=(ast.FunctionDef, ast.AsyncFunctionDef),
+)
+def return_unit_matches_suffix(node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+    assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    declared = unit_suffix(node.name)
+    if declared is None:
+        return
+    for return_stmt, value in ctx.returns_of(node):
+        if value.unit is None or value.unit == declared:
+            continue
+        yield ctx.finding(
+            return_stmt,
+            "R010",
+            f"{node.name}() is suffixed '_{declared}' but this return is "
+            f"tagged '_{value.unit}'; convert through repro.units or "
+            "rename the function",
+        )
+
+
+# --- R011: obs span/counter discipline ------------------------------------------
+
+#: Span types that must never be constructed directly outside repro.obs:
+#: hand-built records bypass the tracer's nesting stack and the disabled-
+#: tracing NULL_SPAN fast path.
+_SPAN_TYPES = frozenset({"Span", "SpanRecord"})
+
+
+@rule(
+    "R011",
+    title="obs span/counter discipline",
+    invariant=(
+        "trace trees are well-nested and counter namespaces deterministic: "
+        "spans come from tracer.span()/obs.span() and are entered with "
+        "'with'; counter keys never embed unordered iteration, or shard "
+        "merges stop being comparable across runs"
+    ),
+    nodes=(ast.Call,),
+    exempt=("repro/obs/",),
+)
+def obs_span_discipline(node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+    assert isinstance(node, ast.Call)
+    func = node.func
+    fname = (
+        func.id
+        if isinstance(func, ast.Name)
+        else func.attr
+        if isinstance(func, ast.Attribute)
+        else None
+    )
+    if fname in _SPAN_TYPES:
+        yield ctx.finding(
+            node,
+            "R011",
+            f"direct {fname}(...) construction bypasses the tracer facade; "
+            "open spans with obs.span()/tracer.span() so nesting and the "
+            "disabled fast path hold",
+        )
+        return
+    if fname == "span":
+        # A span statement that is never entered records nothing: the
+        # duration only exists between __enter__ and __exit__.
+        parent = ctx.parent(node)
+        if isinstance(parent, ast.Expr):
+            yield ctx.finding(
+                node,
+                "R011",
+                "span(...) is never entered, so it records nothing; use "
+                "'with ... span(...):' around the timed block",
+            )
+        return
+    if fname == "incr" and node.args:
+        key = node.args[0]
+        value = _unordered_value(key, ctx)
+        if value is not None:
+            yield ctx.finding(
+                key,
+                "R011",
+                f"counter key built from unordered iteration{value.describe()};"
+                " keys must be deterministic or shard merges diverge run to "
+                "run",
+            )

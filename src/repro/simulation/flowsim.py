@@ -116,12 +116,12 @@ def compute_rates(
                 best_constraint = constraint
         if best_constraint is None:
             # No finite constraint touches the remaining pairs.
-            for pair in unfixed:
+            for pair in sorted(unfixed):
                 rates[pair] = INF
             break
         _, members, _ = best_constraint
         newly_fixed = members & unfixed
-        for pair in newly_fixed:
+        for pair in sorted(newly_fixed):
             rates[pair] = best_share
         for constraint in constraints:
             live = constraint[1] & newly_fixed
