@@ -13,13 +13,19 @@ Run directly for a CI smoke pass that emits the JSON trace::
 
     PYTHONPATH=src python benchmarks/bench_planner_runtime.py --smoke \\
         --trace-json planner_trace.jsonl
+
+or to append a trajectory row to the committed benchmark file (and gate
+on the golden hose-solve counts)::
+
+    PYTHONPATH=src python benchmarks/bench_planner_runtime.py \\
+        --json BENCH_planner.json
 """
 
 import os
 import time
 from pathlib import Path
 
-from repro.core.planner import plan_region
+from repro.core.planner import _plan_region, plan_region
 from repro.obs import profile_plan
 from repro.region.catalog import make_region
 
@@ -28,6 +34,17 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 #: reprolint budget: review-time analysis must stay interactive and cheap
 #: enough to gate CI; ~5s covers the full repo with a wide margin today.
 REPROLINT_BUDGET_S = 5.0
+
+#: ``BENCH_planner.json`` row layout version (bump on breaking changes).
+BENCH_SCHEMA_VERSION = 1
+
+#: The golden region (tests/test_golden.py) the trajectory tracks.
+GOLDEN_REGION = {"map_index": 0, "n_dcs": 5, "dc_fibers": 8}
+
+#: Pinned golden work counts: the CI gate fails when a row exceeds them.
+GOLDEN_HOSE_LOOKUPS = 15762
+GOLDEN_HOSE_MISSES = 92
+GOLDEN_COLD_SOLVES = 7
 
 
 def plan_mid_region():
@@ -90,11 +107,11 @@ def test_planner_serial_vs_parallel(report):
     jobs = min(4, cores) if cores >= 2 else 2
 
     t0 = time.time()
-    serial = plan_region(instance.spec, jobs=1)
+    serial = _plan_region(instance.spec, jobs=1)
     serial_s = time.time() - t0
 
     t0 = time.time()
-    parallel = plan_region(instance.spec, jobs=jobs)
+    parallel = _plan_region(instance.spec, jobs=jobs)
     parallel_s = time.time() - t0
 
     assert serial.topology == parallel.topology
@@ -176,6 +193,135 @@ def _smoke(trace_json: str | None) -> int:
     return 0
 
 
+def _measure_golden(incremental: bool, rounds: int = 3) -> tuple:
+    """Best-of-``rounds`` cold-cache traced plans of the golden region.
+
+    Returns ``(wall_s, ProfileResult, HoseCacheStats)`` for the fastest
+    round (standard practice: the minimum is the least noise-polluted
+    sample; the work counters are identical across rounds because every
+    round starts from a cleared cache). ``incremental=False`` disables
+    residual-state repair (every miss solves cold) to measure the
+    pre-incremental baseline on identical hardware.
+    """
+    from repro.core.hose import (
+        clear_hose_cache,
+        configure_hose_cache,
+        hose_cache_stats,
+    )
+
+    instance = make_region(**GOLDEN_REGION)
+    best: tuple | None = None
+    for _ in range(rounds):
+        if incremental:
+            clear_hose_cache()  # fresh cache at the env/default bounds
+        else:
+            configure_hose_cache(state_maxsize=0)
+        t0 = time.perf_counter()
+        result = profile_plan(instance.spec)
+        wall_s = time.perf_counter() - t0
+        if best is None or wall_s < best[0]:
+            best = (wall_s, result, hose_cache_stats())
+    return best
+
+
+def _bench_json(path: str) -> int:
+    """Append one trajectory row to ``path`` and gate on golden counts.
+
+    The file is ``{"schema_version": 1, "rows": [...]}``; each run
+    appends one row, so the committed file accumulates a PR-over-PR
+    runtime trajectory for the same golden region. Exits non-zero when
+    the measured hose-solve counts regress above the golden baseline
+    (more lookups, misses, or cold solves than the pinned values).
+    """
+    import json
+
+    from repro import __version__
+
+    baseline_s, baseline_result, baseline_stats = _measure_golden(
+        incremental=False
+    )
+    wall_s, result, stats = _measure_golden(incremental=True)
+
+    def _phase_table(profile) -> dict[str, float]:
+        return {
+            row.name: round(row.total_s, 4)
+            for row in profile.phases
+            if row.name.startswith("plan.") and "level[" not in row.name
+        }
+
+    phases_s = _phase_table(result)
+    baseline_phases_s = _phase_table(baseline_result)
+    capacity_s = phases_s.get("plan.capacity", 0.0)
+    baseline_capacity_s = baseline_phases_s.get("plan.capacity", 0.0)
+    row = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "version": __version__,
+        "region": dict(GOLDEN_REGION),
+        "jobs": 1,
+        "backend": "serial",
+        "scenarios": int(result.total("scenarios.evaluated")),
+        "hose": {
+            "lookups": int(result.total("hose.lookups")),
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "cold_solves": stats.cold_solves,
+            "incremental_solves": stats.incremental_solves,
+        },
+        "phases_s": phases_s,
+        "wall_s": round(wall_s, 4),
+        "wall_noincremental_s": round(baseline_s, 4),
+        "speedup_vs_noincremental": round(baseline_s / wall_s, 3)
+        if wall_s > 0
+        else float("inf"),
+        "capacity_s_noincremental": baseline_capacity_s,
+        "speedup_capacity": round(baseline_capacity_s / capacity_s, 3)
+        if capacity_s > 0
+        else float("inf"),
+    }
+
+    target = Path(path)
+    if target.exists():
+        payload = json.loads(target.read_text())
+        if payload.get("schema_version") != BENCH_SCHEMA_VERSION:
+            print(f"BENCH GATE FAILED: {path} has schema_version "
+                  f"{payload.get('schema_version')!r}, expected "
+                  f"{BENCH_SCHEMA_VERSION}")
+            return 1
+    else:
+        payload = {"schema_version": BENCH_SCHEMA_VERSION, "rows": []}
+    payload["rows"].append(row)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    hose = row["hose"]
+    print(f"BENCH_planner row appended to {path} "
+          f"({len(payload['rows'])} row(s))")
+    print(f"  scenarios {row['scenarios']}, hose lookups {hose['lookups']}, "
+          f"misses {hose['misses']} ({hose['cold_solves']} cold / "
+          f"{hose['incremental_solves']} incremental)")
+    print(f"  wall {row['wall_s']:.2f} s vs {row['wall_noincremental_s']:.2f} s "
+          f"non-incremental ({row['speedup_vs_noincremental']:.2f}x), "
+          f"baseline misses all-cold: {baseline_stats.cold_solves}")
+
+    problems = []
+    if hose["lookups"] != GOLDEN_HOSE_LOOKUPS:
+        problems.append(
+            f"hose lookups {hose['lookups']} != golden {GOLDEN_HOSE_LOOKUPS}"
+        )
+    if hose["misses"] > GOLDEN_HOSE_MISSES:
+        problems.append(
+            f"hose misses {hose['misses']} > golden {GOLDEN_HOSE_MISSES}"
+        )
+    if hose["cold_solves"] > GOLDEN_COLD_SOLVES:
+        problems.append(
+            f"cold solves {hose['cold_solves']} > golden {GOLDEN_COLD_SOLVES}"
+        )
+    if result.plan.validate():
+        problems.append("plan failed validation")
+    for problem in problems:
+        print(f"BENCH GATE FAILED: {problem}")
+    return 1 if problems else 0
+
+
 if __name__ == "__main__":
     import argparse
     import sys
@@ -185,8 +331,16 @@ if __name__ == "__main__":
                         help="run the quick profiling smoke pass and exit")
     parser.add_argument("--trace-json", metavar="PATH", default=None,
                         help="also write the span trace as JSON lines")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="append a BENCH_planner.json trajectory row "
+                             "and gate on the golden hose-solve counts")
     cli_args = parser.parse_args()
-    if not cli_args.smoke:
-        parser.error("this entry point only supports --smoke; "
+    if not cli_args.smoke and not cli_args.json:
+        parser.error("this entry point supports --smoke and/or --json; "
                      "use pytest for the full benchmarks")
-    sys.exit(_smoke(cli_args.trace_json))
+    status = 0
+    if cli_args.smoke:
+        status = _smoke(cli_args.trace_json)
+    if status == 0 and cli_args.json:
+        status = _bench_json(cli_args.json)
+    sys.exit(status)

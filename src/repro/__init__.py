@@ -21,7 +21,8 @@ networking multi-data center regions" (Dukic et al., SIGCOMM 2020):
   and control plane (off by default; see ``obs.tracing``).
 """
 
-from repro import obs
+from repro import api, obs
+from repro.api import PlannerConfig, plan, simulate, sweep
 from repro.region.fibermap import (
     FiberMap,
     NodeKind,
@@ -36,10 +37,15 @@ from repro.cost.estimator import estimate_cost
 from repro.designs.base import Design, available_designs, get_design
 from repro.obs import SpanRecord, profile_plan
 
-__version__ = "1.3.0"
+__version__ = "1.6.0"
 
 __all__ = [
+    "api",
     "obs",
+    "PlannerConfig",
+    "plan",
+    "simulate",
+    "sweep",
     "SpanRecord",
     "profile_plan",
     "FiberMap",

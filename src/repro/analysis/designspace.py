@@ -221,11 +221,56 @@ def _decode_sweep_cell(payload: dict[str, Any]) -> tuple:
         raise ReproError(f"malformed sweep cell: {exc}") from exc
 
 
+# Sentinel distinguishing "caller never passed this keyword" from any real
+# value, so :func:`run_sweep` only warns about explicit legacy usage.
+_UNSET: Any = object()
+
+
 def run_sweep(
     points: Iterable[SweepPoint],
     prices: PriceBook | None = None,
     failure_tolerance: int = 2,
+    jobs: "int | None | Any" = _UNSET,
+    store: "PlanStore | None | Any" = _UNSET,
+) -> list[SweepRecord]:
+    """Plan and price every scenario (the historical entry point).
+
+    .. deprecated::
+        Passing the execution options (``jobs``, ``store``) directly is
+        deprecated in favor of :func:`repro.api.sweep` with a single
+        :class:`repro.api.PlannerConfig`; doing so emits a
+        :class:`DeprecationWarning` but behaves identically. The domain
+        arguments (``points``, ``prices``, ``failure_tolerance``) are
+        not deprecated.
+    """
+    explicit = {
+        name: value
+        for name, value in (("jobs", jobs), ("store", store))
+        if value is not _UNSET
+    }
+    if explicit:
+        import warnings
+
+        warnings.warn(
+            "run_sweep's loose execution options ("
+            + ", ".join(sorted(explicit))
+            + ") are deprecated; use repro.api.sweep(points, "
+            "config=PlannerConfig(...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return _run_sweep(
+        points, prices=prices, failure_tolerance=failure_tolerance, **explicit
+    )
+
+
+def _run_sweep(
+    points: Iterable[SweepPoint],
+    *,
+    prices: PriceBook | None = None,
+    failure_tolerance: int = 2,
     jobs: int | None = 1,
+    backend: str | None = None,
     store: "PlanStore | None" = None,
 ) -> list[SweepRecord]:
     """Plan and price every scenario. Plans are cached per (map, n, f)
@@ -233,7 +278,8 @@ def run_sweep(
 
     ``jobs`` fans the per-(map, n, f) planning out over worker processes
     (grid-point parallelism); pricing stays in the parent, so records are
-    identical to a serial run.
+    identical to a serial run. ``backend`` selects the execution backend
+    by name (see :func:`repro.core.engine.get_backend`).
 
     ``store`` checkpoints each cell's planning products as that cell
     finishes (not at the end of the sweep), so an interrupted campaign
@@ -274,10 +320,12 @@ def run_sweep(
         # minutes of work at paper scale) and every completed cell can be
         # checkpointed the moment its result streams back.
         chunks = [[point] for _, point in pending]
-        with get_backend(jobs) as backend:
+        with get_backend(jobs, backend) as engine_backend:
             for (key, point), result in zip(
                 pending,
-                backend.iter_chunks(_plan_sweep_point, failure_tolerance, chunks),
+                engine_backend.iter_chunks(
+                    _plan_sweep_point, failure_tolerance, chunks
+                ),
             ):
                 (cell,) = result
                 plan_cache[key] = cell

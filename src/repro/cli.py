@@ -93,6 +93,13 @@ def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="worker processes (1=serial, 0=all CPUs)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("serial", "process", "steal"),
+        default=None,
+        help="execution backend (default: serial for --jobs 1, "
+        "work-stealing otherwise)",
+    )
 
 
 def _add_store_args(parser: argparse.ArgumentParser) -> None:
@@ -167,13 +174,15 @@ def cmd_region(args) -> int:
 
 def cmd_plan(args) -> int:
     """Run the Iris planner and summarize the plan."""
-    from repro.core.planner import plan_region
+    from repro.api import PlannerConfig
+    from repro.api import plan as api_plan
     from repro.serialize import plan_to_json
 
     region, _ = _load_region(args)
     store = _open_store(args)
+    config = PlannerConfig(jobs=args.jobs, backend=args.backend, store=store)
     with _maybe_traced(args):
-        plan = plan_region(region, jobs=args.jobs, store=store)
+        plan = api_plan(region, config=config)
     _report_store_traffic(store)
     print(f"scenarios: {len(plan.topology.scenario_paths)} enumerated "
           f"(of {plan.topology.scenario_count_total} raw)")
@@ -232,11 +241,9 @@ def cmd_portmodel(args) -> int:
 
 def cmd_sweep(args) -> int:
     """Run the Fig 12 design-space sweep and print ratios."""
-    from repro.analysis.designspace import (
-        default_mini_sweep,
-        full_paper_sweep,
-        run_sweep,
-    )
+    from repro.analysis.designspace import default_mini_sweep, full_paper_sweep
+    from repro.api import PlannerConfig
+    from repro.api import sweep as api_sweep
 
     points = full_paper_sweep() if args.full else default_mini_sweep()
     if args.limit:
@@ -249,8 +256,9 @@ def cmd_sweep(args) -> int:
             file=sys.stderr,
         )
         return 2
+    config = PlannerConfig(jobs=args.jobs, backend=args.backend, store=store)
     with _maybe_traced(args):
-        records = run_sweep(points, jobs=args.jobs, store=store)
+        records = api_sweep(points, config=config)
     _report_store_traffic(store)
     print(f"{'map':>4}{'n':>4}{'f':>4}{'lam':>5}{'EPS/Iris':>10}"
           f"{'EPS/Hybrid':>12}{'in-net':>8}{'EPS0/Iris2':>12}")
@@ -269,7 +277,8 @@ def cmd_sweep(args) -> int:
 
 def cmd_simulate(args) -> int:
     """One Iris-vs-EPS flow-level comparison."""
-    from repro.simulation.scenarios import ScenarioConfig, run_comparison
+    from repro.api import simulate as api_simulate
+    from repro.simulation.scenarios import ScenarioConfig
 
     config = ScenarioConfig(
         n_dcs=args.dcs,
@@ -281,7 +290,7 @@ def cmd_simulate(args) -> int:
         seed=args.seed,
     )
     with _maybe_traced(args):
-        result = run_comparison(config)
+        result = api_simulate(config)
     s = result.summary
     print(f"flows: {s.iris_flows} (unfinished: {s.iris_unfinished})")
     print(f"reconfigurations: {result.reconfigurations}, "
@@ -316,13 +325,17 @@ def cmd_analyze(args) -> int:
     from repro.region.catalog import region_ensemble
 
     instances = region_ensemble(count=args.regions, n_dcs_range=(5, 9))
-    ratios = latency_inflation_ratios(instances, jobs=args.jobs)
+    ratios = latency_inflation_ratios(
+        instances, jobs=args.jobs, backend=args.backend
+    )
     print(f"latency inflation over {len(ratios)} DC pairs "
           f"({args.regions} regions):")
     for threshold in (1.0, 1.5, 2.0, 4.0):
         frac = fraction_at_least(ratios, threshold)
         print(f"  >= {threshold:.1f}x: {frac * 100:5.1f}%")
-    gains = flexibility_gains(instances, spacing_km=4.0, jobs=args.jobs)
+    gains = flexibility_gains(
+        instances, spacing_km=4.0, jobs=args.jobs, backend=args.backend
+    )
     values = sorted(g for _, g in gains)
     print(f"siting-area gain (distributed / centralized): "
           f"median {values[len(values) // 2]:.1f}x, "

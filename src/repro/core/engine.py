@@ -5,21 +5,31 @@ every pruned failure scenario — is embarrassingly parallel at the scenario
 level: each scenario's Dijkstra run and each scenario's per-duct hose
 max-flows depend only on the fiber map and that scenario. This module
 provides the pluggable execution layer the planner (and the design-space
-sweep) fan out over:
+sweep) fan out over. Backends implement the :class:`ExecutionBackend`
+protocol; three ship here, selectable via ``get_backend(jobs, backend=)``:
 
-* :class:`SerialBackend` — evaluate chunks inline, in order, in-process.
-  This is the default and is guaranteed never to spawn a worker pool.
-* :class:`ProcessBackend` — evaluate chunks in ``jobs`` worker processes
-  via :class:`concurrent.futures.ProcessPoolExecutor`.
+* :class:`SerialBackend` (``"serial"``) — evaluate chunks inline, in
+  order, in-process; guaranteed never to spawn a worker pool.
+* :class:`ProcessBackend` (``"process"``) — evaluate statically
+  partitioned chunks in ``jobs`` worker processes via
+  :class:`concurrent.futures.ProcessPoolExecutor`.
+* :class:`WorkStealingBackend` (``"steal"``, the default for ``jobs > 1``)
+  — the same pool fed a deterministic *fine-grained* chunk queue
+  (:func:`guided_partition`): many decreasing-size chunks that idle
+  workers drain dynamically, so an expensive scenario no longer strands
+  its statically assigned neighbours behind it.
 
-Determinism contract: a backend runs ``fn(shared, chunk)`` over a list of
-chunks and returns the per-chunk results *in submission order* —
-:meth:`~SerialBackend.run_chunks` as one list, or streamed result by
-result via :meth:`~SerialBackend.iter_chunks` so callers can checkpoint
-completed chunks as they land (how sweep resume persists cells). Callers
-partition work with :func:`partition` (contiguous, order-preserving) and
-merge with order-independent operations (per-duct maxima), so parallel
-plans are bit-identical to serial ones.
+Determinism contract (see :class:`ExecutionBackend`): a backend runs
+``fn(shared, chunk)`` over a list of chunks and returns the per-chunk
+results *in submission order* — :meth:`~SerialBackend.run_chunks` as one
+list, or streamed result by result via
+:meth:`~SerialBackend.iter_chunks` so callers can checkpoint completed
+chunks as they land (how sweep resume persists cells). Chunking is the
+backend's own :meth:`~SerialBackend.plan_chunks` (always contiguous and
+order-preserving); callers merge with order-independent operations
+(per-duct maxima), so which worker ran which chunk — and in what order
+chunks *finished* — cannot change the output: parallel plans are
+bit-identical to serial ones, work-stealing included.
 
 Observability: when global tracing is on (:func:`repro.obs.enabled`), each
 chunk runs under a fresh :func:`repro.obs.capture` — in the worker process
@@ -40,7 +50,15 @@ from __future__ import annotations
 import os
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator, Sequence, TypeVar
+from typing import (
+    Any,
+    Callable,
+    Iterator,
+    Protocol,
+    Sequence,
+    TypeVar,
+    runtime_checkable,
+)
 
 from repro import obs
 from repro.exceptions import ReproError
@@ -48,10 +66,76 @@ from repro.obs import SpanRecord
 
 T = TypeVar("T")
 
-#: Chunks submitted per worker per fan-out: small enough to amortize the
-#: per-chunk pickling of the shared payload, large enough to balance load
-#: when per-scenario costs vary.
+#: Chunks submitted per worker per fan-out under *static* partitioning:
+#: small enough to amortize the per-chunk pickling of the shared payload,
+#: large enough to balance load when per-scenario costs vary.
 CHUNKS_PER_WORKER = 4
+
+#: Backend names accepted by :func:`get_backend` (and the ``--backend``
+#: CLI flag). ``"steal"`` is the work-stealing pool.
+BACKEND_NAMES = ("serial", "process", "steal")
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """The execution-backend contract every backend implements.
+
+    A backend is a chunk runner with four obligations; anything honouring
+    them slots into the planner, the sweep, and ``map_in_chunks`` without
+    touching call sites:
+
+    ``plan_chunks(items)``
+        Split a work list into the chunk granularity this backend wants
+        fed to it. Must be *contiguous and order-preserving*:
+        concatenating the returned chunks reproduces ``items`` exactly,
+        with no empty chunks. Granularity is free (static halves, guided
+        decreasing sizes, one item per chunk); ordering is not.
+    ``iter_chunks(fn, shared, chunks)``
+        Run ``fn(shared, chunk)`` for every chunk and yield the per-chunk
+        results **in submission order**, streaming each result as soon as
+        it (and all earlier ones) finished. Completion order is the
+        backend's business; yield order is the contract — it is what lets
+        callers checkpoint per-chunk results deterministically (sweep
+        resume).
+    ``run_chunks(fn, shared, chunks)``
+        The gathered form of ``iter_chunks``. Callers combine the
+        returned per-chunk results with **associative, order-insensitive
+        merges only** (per-duct maxima, counter sums, list-concatenation
+        of order-preserving chunks), so any compliant chunking produces
+        byte-identical outputs.
+    ``close()`` / context manager
+        Backends own worker pools; ``with get_backend(...) as backend:``
+        bounds the pool's lifetime. ``close()`` must be idempotent, and
+        ``__exit__`` must call it.
+
+    The ``name`` and ``jobs`` attributes identify the backend in
+    :class:`PlanTimings` and benchmark rows.
+    """
+
+    name: str
+    jobs: int
+
+    def plan_chunks(self, items: Sequence[T]) -> list[list[T]]: ...
+
+    def iter_chunks(
+        self,
+        fn: Callable[[Any, list[T]], Any],
+        shared: Any,
+        chunks: Sequence[list[T]],
+    ) -> Iterator[Any]: ...
+
+    def run_chunks(
+        self,
+        fn: Callable[[Any, list[T]], Any],
+        shared: Any,
+        chunks: Sequence[list[T]],
+    ) -> list[Any]: ...
+
+    def close(self) -> None: ...
+
+    def __enter__(self) -> "ExecutionBackend": ...
+
+    def __exit__(self, *exc: object) -> None: ...
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -93,6 +177,44 @@ def partition(items: Sequence[T], n_chunks: int) -> list[list[T]]:
     return out
 
 
+def guided_partition(
+    items: Sequence[T],
+    workers: int,
+    *,
+    factor: int = 2,
+    min_chunk: int = 1,
+) -> list[list[T]]:
+    """Split ``items`` into contiguous chunks of *decreasing* size.
+
+    Guided self-scheduling: each chunk takes ``ceil(remaining /
+    (factor * workers))`` items (never fewer than ``min_chunk``), so the
+    queue starts with chunks big enough to amortize dispatch and ends
+    with fine-grained ones that level out whatever imbalance the early
+    chunks left. The split depends only on ``len(items)`` and the
+    parameters — it is deterministic, order-preserving (concatenating the
+    chunks reproduces ``items``), and never returns an empty chunk, so a
+    pool draining it dynamically still satisfies the
+    :class:`ExecutionBackend` contract.
+    """
+    if workers < 1:
+        raise ReproError(f"need at least one worker, got {workers}")
+    if factor < 1 or min_chunk < 1:
+        raise ReproError(
+            f"factor and min_chunk must be positive, got {factor}, {min_chunk}"
+        )
+    items = list(items)
+    n = len(items)
+    out: list[list[T]] = []
+    start = 0
+    while start < n:
+        remaining = n - start
+        size = max(min_chunk, -(-remaining // (factor * workers)))
+        size = min(size, remaining)
+        out.append(items[start : start + size])
+        start += size
+    return out
+
+
 def _traced_chunk(
     fn: Callable[[Any, list[T]], Any], shared: Any, chunk: list[T]
 ) -> tuple[Any, SpanRecord]:
@@ -120,6 +242,14 @@ class SerialBackend:
 
     name = "serial"
     jobs = 1
+
+    def plan_chunks(self, items: Sequence[T]) -> list[list[T]]:
+        """Static contiguous chunks (a handful, purely for trace shape).
+
+        Serial execution gains nothing from granularity, but chunked
+        traces keep the span taxonomy identical across backends.
+        """
+        return partition(items, CHUNKS_PER_WORKER)
 
     def iter_chunks(
         self,
@@ -186,6 +316,10 @@ class ProcessBackend:
             self._executor = ProcessPoolExecutor(max_workers=self.jobs)
         return self._executor
 
+    def plan_chunks(self, items: Sequence[T]) -> list[list[T]]:
+        """Static balanced chunks, a few per worker."""
+        return partition(items, self.jobs * CHUNKS_PER_WORKER)
+
     def iter_chunks(
         self,
         fn: Callable[[Any, list[T]], Any],
@@ -251,22 +385,66 @@ class ProcessBackend:
         self.close()
 
 
-#: Either execution backend (a Protocol would be overkill for two classes).
-ExecutionBackend = SerialBackend | ProcessBackend
+class WorkStealingBackend(ProcessBackend):
+    """The process pool fed a deterministic fine-grained chunk queue.
+
+    Static partitioning assigns every chunk to a submission slot up
+    front, so one expensive scenario (a dense failure set whose Dijkstra
+    and hose solves dwarf its neighbours') leaves ``jobs - 1`` workers
+    idle while its chunk finishes. This backend instead enqueues many
+    small chunks of *decreasing* size (:func:`guided_partition`) into the
+    pool's shared queue; idle workers pull the next chunk the moment they
+    finish — work stealing in its queue-drained form, with the stealing
+    done by :class:`~concurrent.futures.ProcessPoolExecutor`'s dispatcher
+    rather than per-worker deques.
+
+    Determinism is untouched: the chunk *list* is a pure function of the
+    work list, results are yielded in submission order, and callers merge
+    order-insensitively, so ``jobs=4`` plans are byte-identical to
+    ``jobs=1`` (parity-tested via ``plan_to_json`` equality). Only wall
+    time and the per-process cache-warmth counters may differ.
+    """
+
+    name = "steal"
+
+    def __init__(self, jobs: int, *, factor: int = 2, min_chunk: int = 1) -> None:
+        super().__init__(jobs)
+        self.factor = factor
+        self.min_chunk = min_chunk
+
+    def plan_chunks(self, items: Sequence[T]) -> list[list[T]]:
+        """Guided decreasing-size chunks (the dynamic queue's feed)."""
+        return guided_partition(
+            items, self.jobs, factor=self.factor, min_chunk=self.min_chunk
+        )
 
 
-def get_backend(jobs: int | None = 1) -> ExecutionBackend:
+def get_backend(
+    jobs: int | None = 1, backend: str | None = None
+) -> ExecutionBackend:
     """The execution backend for a ``jobs=`` argument.
 
-    ``jobs in (None, 1)`` yields the :class:`SerialBackend` — guaranteed
-    pool-free — anything else a :class:`ProcessBackend` with
-    :func:`resolve_jobs` workers (which may still resolve to serial on a
-    single-core machine when ``jobs=0``).
+    ``backend`` selects among :data:`BACKEND_NAMES`; ``None`` picks the
+    default for the worker count — :class:`SerialBackend` (guaranteed
+    pool-free) when ``jobs`` resolves to 1, the work-stealing pool
+    otherwise. An explicitly requested pool backend still degrades to
+    serial when only one worker is available (e.g. ``jobs=0`` on a
+    single-core machine); ``backend="serial"`` forces serial execution
+    regardless of ``jobs``.
     """
     n = resolve_jobs(jobs)
-    if n == 1:
+    if backend is None:
+        backend = "serial" if n == 1 else "steal"
+    if backend not in BACKEND_NAMES:
+        raise ReproError(
+            f"unknown backend {backend!r}; available: "
+            f"{', '.join(BACKEND_NAMES)}"
+        )
+    if backend == "serial" or n == 1:
         return SerialBackend()
-    return ProcessBackend(n)
+    if backend == "process":
+        return ProcessBackend(n)
+    return WorkStealingBackend(n)
 
 
 def map_in_chunks(
@@ -274,18 +452,18 @@ def map_in_chunks(
     fn: Callable[[Any, list[T]], list[Any]],
     shared: Any,
     items: Sequence[T],
-    chunks_per_worker: int = CHUNKS_PER_WORKER,
 ) -> list[Any]:
-    """Fan ``items`` out in chunks and return the flattened results.
+    """Fan ``items`` out in backend-chosen chunks; flattened results.
 
     ``fn(shared, chunk)`` must return one result per chunk item, in chunk
-    order; the flattened output then aligns 1:1 with ``items``.
+    order; chunks are contiguous and order-preserving (the
+    :class:`ExecutionBackend` contract), so the flattened output aligns
+    1:1 with ``items`` whatever granularity the backend picked.
     """
     items = list(items)
     if not items:
         return []
-    n_chunks = max(1, backend.jobs * chunks_per_worker)
-    chunks = partition(items, n_chunks)
+    chunks = backend.plan_chunks(items)
     out: list[Any] = []
     for chunk, results in zip(chunks, backend.run_chunks(fn, shared, chunks)):
         if len(results) != len(chunk):
@@ -317,6 +495,11 @@ class PlanTimings:
     ``hose_cache_hits`` / ``hose_cache_misses``
         Hose max-flow cache traffic during the capacity phase, summed over
         all worker processes.
+    ``hose_cold_solves`` / ``hose_incremental_solves``
+        How the capacity phase's cache misses were actually solved: from
+        scratch, or repaired incrementally from a neighbouring solved
+        instance (see :mod:`repro.core.hose`). Sums to
+        ``hose_cache_misses``.
     ``backend`` / ``jobs``
         Which execution backend ran the plan, with how many workers.
     """
@@ -329,6 +512,8 @@ class PlanTimings:
     hose_cache_misses: int
     backend: str = "serial"
     jobs: int = 1
+    hose_cold_solves: int = 0
+    hose_incremental_solves: int = 0
 
     @classmethod
     def from_record(
@@ -353,6 +538,10 @@ class PlanTimings:
             hose_cache_misses=int(counters.get("hose.cache_misses", 0)),
             backend=backend,
             jobs=jobs,
+            hose_cold_solves=int(counters.get("hose.cold_solves", 0)),
+            hose_incremental_solves=int(
+                counters.get("hose.incremental_solves", 0)
+            ),
         )
 
     @property
@@ -369,6 +558,8 @@ class PlanTimings:
             f"{self.total_s:.2f} s total "
             f"(paths {self.enumerate_s:.2f} s, capacity {self.capacity_s:.2f} s), "
             f"{self.scenarios_evaluated} scenarios, "
-            f"hose cache hit rate {self.hose_cache_hit_rate:.0%}, "
+            f"hose cache hit rate {self.hose_cache_hit_rate:.0%} "
+            f"({self.hose_cold_solves} cold / "
+            f"{self.hose_incremental_solves} incremental), "
             f"backend {self.backend} x{self.jobs}"
         )

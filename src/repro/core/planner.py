@@ -3,15 +3,20 @@ residual fibers, assembled into a validated :class:`~repro.core.plan.IrisPlan`.
 
 Typical use::
 
-    from repro import plan_region
-    plan = plan_region(region)
-    inventory = plan.inventory()
+    from repro.api import PlannerConfig, plan
+    result = plan(region, config=PlannerConfig(jobs=4))
+    inventory = result.inventory()
+
+:func:`plan_region` remains as the historical loose-keyword entry point;
+passing its keyword options directly now emits a :class:`DeprecationWarning`
+pointing at :func:`repro.api.plan`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro import obs
 from repro.core.amplifiers import place_amplifiers
@@ -41,12 +46,17 @@ class IrisPlanner:
         :mod:`repro.core.engine`): ``1`` (default) stays serial and never
         spawns a worker pool, ``N > 1`` uses ``N`` worker processes, ``0``
         uses every CPU. Plans are bit-identical across backends.
+    ``backend``
+        Backend name from :data:`repro.core.engine.BACKEND_NAMES`
+        (``"serial"``, ``"process"``, ``"steal"``). ``None`` (default)
+        picks serial for ``jobs=1`` and work-stealing otherwise.
     """
 
     region: RegionSpec
     prune_enumeration: bool = True
     validate: bool = True
     jobs: int | None = 1
+    backend: str | None = None
 
     def plan(self) -> IrisPlan:
         """Produce the full Iris plan for the region."""
@@ -56,7 +66,10 @@ class IrisPlanner:
     def plan_topology(self) -> TopologyPlan:
         """Run only Algorithm 1 (shared with the EPS baseline)."""
         return plan_topology(
-            self.region, prune_enumeration=self.prune_enumeration, jobs=self.jobs
+            self.region,
+            prune_enumeration=self.prune_enumeration,
+            jobs=self.jobs,
+            backend=self.backend,
         )
 
     def plan_from_topology(self, topology: TopologyPlan) -> IrisPlan:
@@ -98,33 +111,81 @@ class IrisPlanner:
         return plan
 
 
+# Sentinel distinguishing "caller never passed this keyword" from any real
+# value, so the deprecation shim below only warns about explicit usage.
+_UNSET: Any = object()
+
+
 def plan_region(
+    region: RegionSpec,
+    *,
+    prune_enumeration: bool | Any = _UNSET,
+    validate: bool | Any = _UNSET,
+    jobs: "int | None | Any" = _UNSET,
+    store: "PlanStore | None | Any" = _UNSET,
+) -> IrisPlan:
+    """Plan ``region`` end to end (the historical one-call entry point).
+
+    .. deprecated::
+        Passing the loose keyword options (``prune_enumeration``,
+        ``validate``, ``jobs``, ``store``) directly is deprecated in
+        favor of :func:`repro.api.plan` with a single
+        :class:`repro.api.PlannerConfig`; doing so emits a
+        :class:`DeprecationWarning` but behaves identically. A bare
+        ``plan_region(region)`` stays warning-free.
+    """
+    explicit = {
+        name: value
+        for name, value in (
+            ("prune_enumeration", prune_enumeration),
+            ("validate", validate),
+            ("jobs", jobs),
+            ("store", store),
+        )
+        if value is not _UNSET
+    }
+    if explicit:
+        warnings.warn(
+            "plan_region's loose keyword options ("
+            + ", ".join(sorted(explicit))
+            + ") are deprecated; use repro.api.plan(region, "
+            "config=PlannerConfig(...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return _plan_region(region, **explicit)
+
+
+def _plan_region(
     region: RegionSpec,
     *,
     prune_enumeration: bool = True,
     validate: bool = True,
     jobs: int | None = 1,
+    backend: str | None = None,
     store: "PlanStore | None" = None,
 ) -> IrisPlan:
-    """Plan ``region`` end to end (the one-call entry point).
+    """Plan ``region`` end to end (the non-deprecated internal entry point).
 
-    The parameters are explicit and keyword-only — a mistyped option fails
-    loudly with a ``TypeError`` instead of being silently swallowed. They
-    mirror :class:`IrisPlanner`'s fields; see there for semantics.
+    :func:`repro.api.plan` is the public face of this function; the
+    parameters mirror :class:`IrisPlanner`'s fields — see there for
+    semantics.
 
     ``store``
         An optional :class:`repro.store.PlanStore`. Plans are pure
         functions of (region, config), so on a hit the cached plan is
         loaded instead of replanned — bit-identical to a fresh one
         (``plan_to_json`` equality, parity-tested) — and on a miss the
-        fresh plan is checkpointed for next time. ``jobs`` is an
-        execution detail and deliberately not part of the cache key.
+        fresh plan is checkpointed for next time. ``jobs`` and
+        ``backend`` are execution details and deliberately not part of
+        the cache key.
     """
     planner = IrisPlanner(
         region,
         prune_enumeration=prune_enumeration,
         validate=validate,
         jobs=jobs,
+        backend=backend,
     )
     if store is None:
         return planner.plan()

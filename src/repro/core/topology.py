@@ -34,7 +34,6 @@ from repro.core.engine import (
     SerialBackend,
     get_backend,
     map_in_chunks,
-    partition,
 )
 from repro.core.failures import Scenario
 from repro.core.hose import (
@@ -191,24 +190,34 @@ def _comb(n: int, k: int) -> int:
 def _capacity_chunk(
     dc_fibers: Mapping[str, int],
     path_sets: list[Mapping[Pair, tuple[str, ...]]],
-) -> tuple[dict[Duct, int], int, int]:
+) -> tuple[dict[Duct, int], int, int, int, int]:
     """Worker: per-duct hose maxima over one chunk of scenario path sets.
 
-    Returns the chunk's (duct -> needed capacity, cache hits, cache misses);
-    the parent merges chunk results by per-duct maximum, which is
-    order-independent, so the merged capacities match serial execution
-    exactly. Hits/misses are measured against this process's hose cache.
+    Returns the chunk's (duct -> needed capacity, cache hits, cache
+    misses, cold solves, incremental solves); the parent merges chunk
+    results by per-duct maximum, which is order-independent, so the
+    merged capacities match serial execution exactly. The counter deltas
+    are measured against this process's hose cache.
     """
     before = hose_cache_stats()
     edge_capacity: dict[Duct, int] = {}
     for paths in path_sets:
-        for edge in _used_ducts(paths):
+        # Sorted so the hose lookup order — and with it the cache's
+        # cold/incremental split — is hash-seed independent. The merged
+        # capacities never depended on this order.
+        for edge in sorted(_used_ducts(paths)):
             oriented = tuple(sorted(oriented_pairs_through_edge(edge, paths)))
             needed = hose_capacity(oriented, dc_fibers)
             if needed > edge_capacity.get(edge, 0):
                 edge_capacity[edge] = needed
     after = hose_cache_stats()
-    return edge_capacity, after.hits - before.hits, after.misses - before.misses
+    return (
+        edge_capacity,
+        after.hits - before.hits,
+        after.misses - before.misses,
+        after.cold_solves - before.cold_solves,
+        after.incremental_solves - before.incremental_solves,
+    )
 
 
 def plan_topology(
@@ -216,6 +225,7 @@ def plan_topology(
     *,
     prune_enumeration: bool = True,
     jobs: int | None = 1,
+    backend: str | None = None,
 ) -> TopologyPlan:
     """Run Algorithm 1 for ``region``.
 
@@ -224,10 +234,12 @@ def plan_topology(
     (§4.3). Both the electrical (EPS) and optical (Iris) realizations start
     from this plan.
 
-    ``jobs`` selects the execution backend (see :mod:`repro.core.engine`):
-    ``1`` (default) runs serially in-process, ``N > 1`` fans scenario
-    evaluation out over ``N`` worker processes, ``0`` uses every CPU. The
-    plan is bit-identical across backends; the attached
+    ``jobs`` selects the worker count and ``backend`` the execution
+    backend (see :mod:`repro.core.engine`): ``jobs=1`` (default) runs
+    serially in-process, ``N > 1`` fans scenario evaluation out over
+    ``N`` worker processes — through the work-stealing chunk queue by
+    default, or statically with ``backend="process"`` — and ``0`` uses
+    every CPU. The plan is bit-identical across backends; the attached
     :class:`~repro.core.engine.PlanTimings` records which backend ran and
     where the time went.
 
@@ -255,35 +267,42 @@ def plan_topology(
             span.incr("prune.ducts_dropped",
                       len(region.fiber_map.ducts) - len(fmap.ducts))
 
-        with get_backend(jobs) as backend:
+        with get_backend(jobs, backend) as engine_backend:
             with tracer.span("plan.enumerate"):
                 scenario_paths, total_raw = enumerate_scenario_paths(
                     fmap,
                     constraints.failure_tolerance,
                     sla_fiber_km=constraints.sla_fiber_km,
                     prune=prune_enumeration,
-                    backend=backend,
+                    backend=engine_backend,
                 )
 
             # Different scenarios mostly reroute a few pairs, so the
             # oriented pair set of an edge recurs across scenarios: the
-            # per-process hose cache memoizes the max-flow per set. Chunk
+            # per-process hose cache memoizes the max-flow per set (and
+            # repairs misses incrementally from solved neighbours). Chunk
             # results merge by per-duct maximum, so chunking cannot change
             # the outcome.
             with tracer.span("plan.capacity"):
                 edge_capacity: dict[Duct, int] = {}
-                hits = misses = 0
+                hits = misses = cold = incremental = 0
                 path_sets = list(scenario_paths.values())
                 chunks = (
-                    partition(path_sets, max(1, backend.jobs * 4))
-                    if path_sets
-                    else []
+                    engine_backend.plan_chunks(path_sets) if path_sets else []
                 )
-                for chunk_caps, chunk_hits, chunk_misses in backend.run_chunks(
+                for (
+                    chunk_caps,
+                    chunk_hits,
+                    chunk_misses,
+                    chunk_cold,
+                    chunk_incremental,
+                ) in engine_backend.run_chunks(
                     _capacity_chunk, region.dc_fibers, chunks
                 ):
                     hits += chunk_hits
                     misses += chunk_misses
+                    cold += chunk_cold
+                    incremental += chunk_incremental
                     for edge, needed in chunk_caps.items():
                         if needed > edge_capacity.get(edge, 0):
                             edge_capacity[edge] = needed
@@ -294,9 +313,11 @@ def plan_topology(
         top.incr("scenarios.evaluated", len(scenario_paths))
         top.incr("hose.cache_hits", hits)
         top.incr("hose.cache_misses", misses)
+        top.incr("hose.cold_solves", cold)
+        top.incr("hose.incremental_solves", incremental)
 
     timings = PlanTimings.from_record(
-        top.record, backend=backend.name, jobs=backend.jobs
+        top.record, backend=engine_backend.name, jobs=engine_backend.jobs
     )
     return TopologyPlan(
         edge_capacity=edge_capacity,

@@ -65,8 +65,8 @@ def get_design(kind: str, **options) -> Design:
 
     ``options`` are forwarded to the designer's constructor (e.g.
     ``hubs=`` for ``"centralized"``, ``zone_count=`` for
-    ``"semidistributed"``, ``jobs=`` and ``store=`` for the
-    planner-backed kinds).
+    ``"semidistributed"``, ``jobs=``, ``backend=``, and ``store=`` for
+    the planner-backed kinds).
     """
     try:
         factory = _REGISTRY[kind]
@@ -101,14 +101,17 @@ class IrisDesign:
     """
 
     jobs: int | None = 1
+    backend: str | None = None
     store: "PlanStore | None" = None
 
     name = "iris"
 
     def plan(self, region: RegionSpec) -> Inventory:
-        from repro.core.planner import plan_region
+        from repro.core.planner import _plan_region
 
-        return plan_region(region, jobs=self.jobs, store=self.store).inventory()
+        return _plan_region(
+            region, jobs=self.jobs, backend=self.backend, store=self.store
+        ).inventory()
 
 
 @register_design("eps")
@@ -123,6 +126,7 @@ class EPSDesign:
     """
 
     jobs: int | None = 1
+    backend: str | None = None
     store: "PlanStore | None" = None
 
     name = "eps"
@@ -132,7 +136,10 @@ class EPSDesign:
         from repro.designs.eps import eps_inventory
 
         if self.store is None:
-            return eps_inventory(region, plan_topology(region, jobs=self.jobs))
+            return eps_inventory(
+                region,
+                plan_topology(region, jobs=self.jobs, backend=self.backend),
+            )
 
         from repro.serialize import topology_from_dict, topology_to_dict
         from repro.store import plan_key
@@ -144,7 +151,7 @@ class EPSDesign:
                 return eps_inventory(region, topology_from_dict(cached))
             except ReproError:
                 pass  # stale payload: fall through and replan
-        topology = plan_topology(region, jobs=self.jobs)
+        topology = plan_topology(region, jobs=self.jobs, backend=self.backend)
         self.store.put(key, topology_to_dict(topology), kind="topology")
         return eps_inventory(region, topology)
 
@@ -156,15 +163,18 @@ class HybridDesign:
 
     jobs: int | None = 1
     max_combine: int = 4
+    backend: str | None = None
     store: "PlanStore | None" = None
 
     name = "hybrid"
 
     def plan(self, region: RegionSpec) -> Inventory:
-        from repro.core.planner import plan_region
+        from repro.core.planner import _plan_region
         from repro.designs.hybrid import hybridize
 
-        plan = plan_region(region, jobs=self.jobs, store=self.store)
+        plan = _plan_region(
+            region, jobs=self.jobs, backend=self.backend, store=self.store
+        )
         return hybridize(plan, max_combine=self.max_combine).inventory()
 
 

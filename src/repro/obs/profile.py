@@ -44,24 +44,26 @@ def profile_plan(
     region: "RegionSpec",
     *,
     jobs: int | None = 1,
+    backend: str | None = None,
     prune_enumeration: bool = True,
     validate: bool = True,
 ) -> ProfileResult:
     """Plan ``region`` with tracing enabled and aggregate the trace.
 
-    Parameters mirror :func:`repro.core.planner.plan_region`. The plan is
+    Parameters mirror :class:`repro.api.PlannerConfig`. The plan is
     bit-identical to an untraced run (parity-tested); only the returned
     trace is extra.
     """
     # Imported here, not at module top: repro.core imports repro.obs.
-    from repro.core.planner import plan_region
+    from repro.core.planner import _plan_region
 
     with tracing("profile.plan") as tracer:
-        plan = plan_region(
+        plan = _plan_region(
             region,
             prune_enumeration=prune_enumeration,
             validate=validate,
             jobs=jobs,
+            backend=backend,
         )
     trace = tracer.record()
     return ProfileResult(plan=plan, trace=trace, phases=aggregate(trace))

@@ -40,7 +40,12 @@ class TestPlanCommand:
         assert main(["plan", "--dcs", "5", "--jobs", "2"]) == 0
         out = capsys.readouterr().out
         assert "constraint violations: 0" in out
-        assert "backend process" in out
+        assert "backend steal" in out
+
+    def test_plan_backend_flag_selects_static_pool(self, capsys):
+        args = ["plan", "--dcs", "4", "--jobs", "2", "--backend", "process"]
+        assert main(args) == 0
+        assert "backend process" in capsys.readouterr().out
 
     def test_plan_serial_reports_timings(self, capsys):
         assert main(["plan", "--dcs", "4", "--tolerance", "1"]) == 0

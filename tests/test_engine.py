@@ -4,10 +4,14 @@ import pytest
 
 from repro.core import engine
 from repro.core.engine import (
+    BACKEND_NAMES,
+    ExecutionBackend,
     PlanTimings,
     ProcessBackend,
     SerialBackend,
+    WorkStealingBackend,
     get_backend,
+    guided_partition,
     map_in_chunks,
     partition,
     resolve_jobs,
@@ -62,16 +66,60 @@ class TestPartition:
             partition([1], 0)
 
 
+class TestGuidedPartition:
+    def test_preserves_order_and_content(self):
+        items = list(range(100))
+        chunks = guided_partition(items, 4)
+        assert [x for c in chunks for x in c] == items
+
+    def test_sizes_decrease(self):
+        sizes = [len(c) for c in guided_partition(list(range(200)), 4)]
+        assert sizes == sorted(sizes, reverse=True)
+        # Fine-grained tail: the smallest chunk is min_chunk-sized.
+        assert sizes[-1] == 1
+
+    def test_deterministic(self):
+        items = list(range(57))
+        assert guided_partition(items, 3) == guided_partition(items, 3)
+
+    def test_empty(self):
+        assert guided_partition([], 4) == []
+
+    def test_invalid_workers(self):
+        with pytest.raises(ReproError):
+            guided_partition([1], 0)
+
+
 class TestBackends:
     def test_get_backend_serial(self):
         assert isinstance(get_backend(1), SerialBackend)
         assert isinstance(get_backend(None), SerialBackend)
 
-    def test_get_backend_process(self):
+    def test_get_backend_parallel_defaults_to_steal(self):
         backend = get_backend(2)
-        assert isinstance(backend, ProcessBackend)
+        assert isinstance(backend, WorkStealingBackend)
+        assert backend.name == "steal"
         assert backend.jobs == 2
         backend.close()
+
+    def test_get_backend_by_name(self):
+        with get_backend(2, "process") as backend:
+            assert type(backend) is ProcessBackend
+            assert backend.name == "process"
+        assert isinstance(get_backend(1, "serial"), SerialBackend)
+        # jobs=1 always collapses to serial regardless of the name.
+        assert isinstance(get_backend(1, "steal"), SerialBackend)
+
+    def test_get_backend_unknown_name(self):
+        with pytest.raises(ReproError):
+            get_backend(2, "gpu")
+
+    def test_backends_satisfy_protocol(self):
+        assert isinstance(SerialBackend(), ExecutionBackend)
+        for name in BACKEND_NAMES:
+            backend = get_backend(2, name)
+            assert isinstance(backend, ExecutionBackend)
+            backend.close()
 
     def test_serial_map(self):
         with get_backend(1) as backend:
@@ -80,7 +128,13 @@ class TestBackends:
 
     def test_process_map_matches_serial(self):
         items = list(range(25))
-        with get_backend(2) as backend:
+        with get_backend(2, "process") as backend:
+            out = map_in_chunks(backend, _double_chunk, 2, items)
+        assert out == [2 * i for i in items]
+
+    def test_steal_map_matches_serial(self):
+        items = list(range(25))
+        with get_backend(2, "steal") as backend:
             out = map_in_chunks(backend, _double_chunk, 2, items)
         assert out == [2 * i for i in items]
 
@@ -123,7 +177,7 @@ class TestSerialParallelParity:
         assert serial.scenarios == parallel.scenarios
         # Dataclass equality ignores the (instrumentation-only) timings.
         assert serial == parallel
-        assert parallel.timings.backend == "process"
+        assert parallel.timings.backend == "steal"
         assert parallel.timings.jobs == 2
 
     def test_full_plan_identical(self):
@@ -140,6 +194,24 @@ class TestSerialParallelParity:
         serial = plan_topology(toy_region, prune_enumeration=False, jobs=1)
         parallel = plan_topology(toy_region, prune_enumeration=False, jobs=2)
         assert serial == parallel
+
+    def test_plan_to_json_identical_under_work_stealing(self):
+        """ISSUE 6 acceptance: jobs=1 vs jobs=4 byte-identical plans
+        under the work-stealing backend."""
+        from repro.core.planner import _plan_region
+        from repro.serialize import plan_to_json
+
+        instance = make_region(map_index=0, n_dcs=5, dc_fibers=8)
+        serial = _plan_region(instance.spec, jobs=1)
+        parallel = _plan_region(instance.spec, jobs=4, backend="steal")
+        assert plan_to_json(serial) == plan_to_json(parallel)
+
+    def test_static_process_backend_still_selectable(self, toy_region):
+        static = plan_topology(toy_region, jobs=2, backend="process")
+        stealing = plan_topology(toy_region, jobs=2, backend="steal")
+        assert static == stealing
+        assert static.timings.backend == "process"
+        assert stealing.timings.backend == "steal"
 
 
 class TestWorkerErrorPropagation:

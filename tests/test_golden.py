@@ -76,12 +76,27 @@ class TestGoldenObservability:
         assert timings.scenarios_evaluated == 217
         assert timings.hose_cache_hits == 4355  # capacity phase, cold cache
         assert timings.hose_cache_misses == 78
+        # Every capacity-phase miss is repaired from a solved neighbour
+        # except the handful of genuinely novel flow graphs.
+        assert timings.hose_cold_solves == 7
+        assert timings.hose_incremental_solves == 71
 
     def test_trace_work_totals(self, traced_plan):
         _, record = traced_plan
         assert record.total("paths.scenarios") == 217
         assert record.total("scenarios.evaluated") == 217
         assert record.total("hose.lookups") == 15762  # enumerate + capacity
+
+    def test_incremental_solve_totals(self, traced_plan):
+        """ISSUE 6 acceptance: >= 5x fewer cold solves than the 92
+        all-cold misses the pre-incremental planner performed."""
+        _, record = traced_plan
+        cold = record.total("hose.solve_cold")
+        incremental = record.total("hose.solve_incremental")
+        assert cold == 7
+        assert incremental == 85
+        assert cold + incremental == 92  # the pinned miss total
+        assert cold * 5 <= 92
 
     def test_flow_value_distribution(self, traced_plan):
         _, record = traced_plan
