@@ -43,6 +43,7 @@ if TYPE_CHECKING:
     from repro.analysis.designspace import SweepPoint, SweepRecord
     from repro.core.plan import IrisPlan
     from repro.cost.pricebook import PriceBook
+    from repro.designs.robust import TrafficEnsembleSpec
     from repro.obs import SpanRecord
     from repro.region.fibermap import RegionSpec
     from repro.simulation.scenarios import ScenarioConfig, ScenarioResult
@@ -95,6 +96,12 @@ class PlannerConfig:
         environment fallbacks, then the built-in defaults; an explicit
         value rebuilds the cache via
         :func:`repro.core.hose.configure_hose_cache` before planning.
+    ``traffic``
+        A :class:`repro.designs.robust.TrafficEnsembleSpec` configuring
+        the TM ensemble for ``design="robust"`` (default spec when
+        ``None``). Ignored by every other design; unlike ``jobs``, the
+        ensemble *is* plan content, so it participates in store keys via
+        its digest.
     """
 
     jobs: int | None = 1
@@ -105,6 +112,7 @@ class PlannerConfig:
     trace: bool = False
     hose_cache_maxsize: int | None = None
     hose_state_maxsize: int | None = None
+    traffic: "TrafficEnsembleSpec | None" = None
 
 
 _DEFAULT_CONFIG = PlannerConfig()
@@ -178,13 +186,30 @@ def _plan(
             store=config.store,
         )
 
+    if design == "robust" and not design_options:
+        # Like iris, the robust design returns the full IrisPlan from the
+        # facade (the registry adapter returns only the Inventory).
+        from repro.designs.robust import plan_robust
+
+        return plan_robust(
+            region,
+            traffic=config.traffic,
+            prune_enumeration=config.prune_enumeration,
+            validate=config.validate,
+            jobs=config.jobs,
+            backend=config.backend,
+            store=config.store,
+        )
+
     from repro.designs.base import get_design
 
     options = dict(design_options)
-    if design in ("iris", "eps", "hybrid"):
+    if design in ("iris", "eps", "hybrid", "robust"):
         options.setdefault("jobs", config.jobs)
         options.setdefault("backend", config.backend)
         options.setdefault("store", config.store)
+    if design == "robust" and config.traffic is not None:
+        options.setdefault("traffic", config.traffic)
     return get_design(design, **options).plan(region)
 
 

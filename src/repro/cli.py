@@ -180,10 +180,23 @@ def cmd_plan(args) -> int:
 
     region, _ = _load_region(args)
     store = _open_store(args)
-    config = PlannerConfig(jobs=args.jobs, backend=args.backend, store=store)
+    design = getattr(args, "design", "iris")
+    traffic = None
+    if design == "robust":
+        from repro.designs.robust import TrafficEnsembleSpec
+
+        traffic = TrafficEnsembleSpec(
+            count=args.traffic, seed=args.traffic_seed
+        )
+    config = PlannerConfig(
+        jobs=args.jobs, backend=args.backend, store=store, traffic=traffic
+    )
     with _maybe_traced(args):
-        plan = api_plan(region, config=config)
+        plan = api_plan(region, design=design, config=config)
     _report_store_traffic(store)
+    if design == "robust":
+        print(f"design: robust ({args.traffic} traffic matrices, "
+              f"seed {args.traffic_seed})")
     print(f"scenarios: {len(plan.topology.scenario_paths)} enumerated "
           f"(of {plan.topology.scenario_count_total} raw)")
     if plan.topology.timings is not None:
@@ -288,6 +301,8 @@ def cmd_simulate(args) -> int:
         change_interval_s=args.interval,
         max_change=None if args.unbounded else args.change,
         seed=args.seed,
+        traffic_backend=args.traffic_backend,
+        interarrival=args.interarrival,
     )
     with _maybe_traced(args):
         result = api_simulate(config)
@@ -504,6 +519,26 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_arg(p)
     _add_trace_args(p)
     _add_store_args(p)
+    p.add_argument(
+        "--design",
+        choices=("iris", "robust"),
+        default="iris",
+        help="planning mode: hose-envelope iris (default) or "
+        "multi-TM robust",
+    )
+    p.add_argument(
+        "--traffic",
+        type=int,
+        default=5,
+        metavar="N",
+        help="robust mode: number of sampled traffic matrices",
+    )
+    p.add_argument(
+        "--traffic-seed",
+        type=int,
+        default=2020,
+        help="robust mode: ensemble sampling seed",
+    )
     p.add_argument("--out", help="write plan JSON here")
     p.set_defaults(func=cmd_plan)
 
@@ -537,6 +572,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--change", type=float, default=0.5)
     p.add_argument("--unbounded", action="store_true")
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--traffic-backend",
+        choices=("poisson", "flowgen"),
+        default="poisson",
+        help="flow arrivals: per-pair Poisson (default) or the "
+        "flow-centric generator (size x interarrival x locality)",
+    )
+    p.add_argument(
+        "--interarrival",
+        choices=("poisson", "smooth", "bursty"),
+        default="bursty",
+        help="interarrival shape for --traffic-backend flowgen",
+    )
     _add_trace_args(p)
     p.set_defaults(func=cmd_simulate)
 

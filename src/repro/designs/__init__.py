@@ -29,6 +29,12 @@ from repro.designs.wavelength import (
     wavelength_vs_fiber_tradeoff,
 )
 from repro.designs.hybrid import HybridPlan, hybridize
+from repro.designs.robust import (
+    RobustDesign,
+    TrafficEnsembleSpec,
+    ensemble_digest,
+    plan_robust,
+)
 from repro.designs.semidistributed import SemiDistributedDesign, Zone, cluster_zones
 from repro.designs.wavelength_network import (
     WavelengthPlan,
@@ -59,6 +65,10 @@ __all__ = [
     "wavelength_vs_fiber_tradeoff",
     "HybridPlan",
     "hybridize",
+    "RobustDesign",
+    "TrafficEnsembleSpec",
+    "ensemble_digest",
+    "plan_robust",
     "SemiDistributedDesign",
     "Zone",
     "cluster_zones",

@@ -5,10 +5,22 @@ from repro.simulation.traffic import (
     TrafficMatrix,
     heavy_tailed_matrix,
     perturb_matrix,
+    sample_ensemble,
 )
 from repro.simulation.flowsim import FlowRecord, FluidSimulator, compute_rates
 from repro.simulation.metrics import percentile, slowdown_summary
-from repro.simulation.scenarios import ScenarioConfig, ScenarioResult, run_comparison
+from repro.simulation.scenarios import (
+    ScenarioConfig,
+    ScenarioResult,
+    run_comparison,
+    run_robust_comparison,
+)
+from repro.simulation.trafficgen import (
+    INTERARRIVALS,
+    FlowGenerator,
+    InterarrivalDistribution,
+    flow_stream_digest,
+)
 
 __all__ = [
     "WORKLOADS",
@@ -16,6 +28,7 @@ __all__ = [
     "TrafficMatrix",
     "heavy_tailed_matrix",
     "perturb_matrix",
+    "sample_ensemble",
     "FlowRecord",
     "FluidSimulator",
     "compute_rates",
@@ -24,4 +37,9 @@ __all__ = [
     "ScenarioConfig",
     "ScenarioResult",
     "run_comparison",
+    "run_robust_comparison",
+    "INTERARRIVALS",
+    "FlowGenerator",
+    "InterarrivalDistribution",
+    "flow_stream_digest",
 ]

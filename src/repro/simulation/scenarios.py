@@ -19,8 +19,8 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
-from typing import Mapping
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Sequence
 
 from repro.exceptions import SimulationError
 from repro.simulation.flowsim import FluidSimulator, FlowRecord
@@ -46,6 +46,16 @@ class ScenarioConfig:
     ``headroom_fibers``
         Extra fibers allocated per pair beyond the demand ceiling,
         reflecting the paper's "substantial capacity over-provisioning".
+    ``traffic_backend``
+        ``"poisson"`` (the original per-pair Poisson arrivals) or
+        ``"flowgen"`` (the flow-centric generator in
+        :mod:`repro.simulation.trafficgen`, composing flow-size,
+        interarrival-shape, and pair-locality draws). The default keeps
+        the historical flow trace byte-identical.
+    ``interarrival``
+        Named interarrival shape for the ``flowgen`` backend
+        (``poisson``/``smooth``/``bursty``); ignored by the Poisson
+        backend.
     """
 
     n_dcs: int = 6
@@ -60,6 +70,8 @@ class ScenarioConfig:
     headroom_fibers: int = 2
     flow_cap_fraction: float = 0.05
     seed: int = 1
+    traffic_backend: str = "poisson"
+    interarrival: str = "bursty"
 
     def __post_init__(self) -> None:
         if self.n_dcs < 2:
@@ -72,6 +84,19 @@ class ScenarioConfig:
             raise SimulationError("durations must be positive")
         if self.fibers_per_dc < 1:
             raise SimulationError("need at least one fiber per DC")
+        if self.traffic_backend not in ("poisson", "flowgen"):
+            raise SimulationError(
+                f"unknown traffic backend {self.traffic_backend!r}"
+            )
+        # The interarrival catalogue lives in trafficgen; import lazily so
+        # the default Poisson path never touches it.
+        if self.traffic_backend == "flowgen":
+            from repro.simulation.trafficgen import INTERARRIVALS
+
+            if self.interarrival not in INTERARRIVALS:
+                raise SimulationError(
+                    f"unknown interarrival shape {self.interarrival!r}"
+                )
 
     @property
     def dcs(self) -> list[str]:
@@ -139,7 +164,7 @@ def allocate_fibers(
     return allocation
 
 
-def _generate_flows(
+def _generate_flows_poisson(
     timeline: list[tuple[float, TrafficMatrix]],
     config: ScenarioConfig,
     rng: random.Random,
@@ -165,12 +190,47 @@ def _generate_flows(
     return flows
 
 
-def run_comparison(config: ScenarioConfig) -> ScenarioResult:
-    """Run one paired Iris/EPS scenario and summarize slowdowns."""
-    tm_rng = random.Random(config.seed * 7919 + 1)
-    flow_rng = random.Random(config.seed * 104729 + 2)
+def _generate_flows_flowgen(
+    timeline: list[tuple[float, TrafficMatrix]],
+    config: ScenarioConfig,
+) -> list[tuple[float, str, str, int]]:
+    """Flow-centric arrivals (size x interarrival x locality composition)."""
+    from repro.simulation.trafficgen import generate_timeline_flows
 
-    # Traffic-matrix timeline: change every interval.
+    offered = [
+        sum(pair_loads_bps(tm, config).values()) for _, tm in timeline
+    ]
+    return generate_timeline_flows(
+        timeline,
+        duration_s=config.duration_s,
+        offered_bps_per_tm=offered,
+        sizes=config.distribution,
+        gaps=config.interarrival,
+        seed=config.seed,
+    )
+
+
+def _generate_flows(
+    timeline: list[tuple[float, TrafficMatrix]],
+    config: ScenarioConfig,
+    rng: random.Random,
+) -> list[tuple[float, str, str, int]]:
+    """Dispatch on ``config.traffic_backend``.
+
+    The ``poisson`` branch consumes ``rng`` exactly as it always has, so
+    historical flow traces (and their golden pins) are untouched; the
+    ``flowgen`` branch derives its own substreams from ``config.seed``
+    and leaves ``rng`` unconsumed.
+    """
+    if config.traffic_backend == "flowgen":
+        return _generate_flows_flowgen(timeline, config)
+    return _generate_flows_poisson(timeline, config, rng)
+
+
+def _build_timeline(
+    config: ScenarioConfig, tm_rng: random.Random
+) -> list[tuple[float, TrafficMatrix]]:
+    """Traffic-matrix timeline: change every interval."""
     timeline: list[tuple[float, TrafficMatrix]] = []
     tm = heavy_tailed_matrix(config.dcs, tm_rng)
     t = 0.0
@@ -178,7 +238,15 @@ def run_comparison(config: ScenarioConfig) -> ScenarioResult:
         timeline.append((t, tm))
         tm = perturb_matrix(tm, tm_rng, config.max_change)
         t += config.change_interval_s
+    return timeline
 
+
+def run_comparison(config: ScenarioConfig) -> ScenarioResult:
+    """Run one paired Iris/EPS scenario and summarize slowdowns."""
+    tm_rng = random.Random(config.seed * 7919 + 1)
+    flow_rng = random.Random(config.seed * 104729 + 2)
+
+    timeline = _build_timeline(config, tm_rng)
     flows = _generate_flows(timeline, config, flow_rng)
     if not flows:
         raise SimulationError("scenario generated no flows; raise utilization")
@@ -233,29 +301,65 @@ def run_comparison(config: ScenarioConfig) -> ScenarioResult:
     )
 
 
+def run_robust_comparison(
+    config: ScenarioConfig, ensemble: Sequence[TrafficMatrix]
+) -> ScenarioResult:
+    """Run a METTEOR-style *robust-static* variant of the scenario.
+
+    The fabric is provisioned once for the whole ensemble — every pair
+    gets the maximum circuit allocation any ensemble member demands — and
+    then never reconfigured: no capacity events, no switch-time dark
+    periods. The flow trace is identical to :func:`run_comparison` for
+    the same config, so the FCT comparison isolates the robust topology's
+    value (over-provisioned circuits vs. reconfiguration churn).
+    """
+    if not ensemble:
+        raise SimulationError("robust comparison needs a non-empty ensemble")
+    tm_rng = random.Random(config.seed * 7919 + 1)
+    flow_rng = random.Random(config.seed * 104729 + 2)
+
+    timeline = _build_timeline(config, tm_rng)
+    flows = _generate_flows(timeline, config, flow_rng)
+    if not flows:
+        raise SimulationError("scenario generated no flows; raise utilization")
+
+    dc_caps = {dc: config.dc_capacity_bps for dc in config.dcs}
+    eps = FluidSimulator(
+        egress_bps=dc_caps, flow_cap_bps=config.flow_cap_bps
+    ).run(flows)
+
+    # Robust allocation: per-pair max over the ensemble's demands.
+    robust_alloc: dict[Pair, int] = {}
+    for tm in ensemble:
+        for pair, n in allocate_fibers(pair_loads_bps(tm, config), config).items():
+            robust_alloc[pair] = max(robust_alloc.get(pair, 0), n)
+    pair_caps = {p: n * config.fiber_bps for p, n in robust_alloc.items()}
+
+    robust = FluidSimulator(
+        egress_bps=dc_caps,
+        pair_caps_bps=pair_caps,
+        flow_cap_bps=config.flow_cap_bps,
+    ).run(flows)
+
+    return ScenarioResult(
+        config=config,
+        summary=slowdown_summary(robust, eps),
+        reconfigurations=0,
+        fibers_moved=0,
+        iris_records=tuple(robust),
+        eps_records=tuple(eps),
+    )
+
+
 def sweep_change_intervals(
     intervals_s: list[float],
     base: ScenarioConfig,
 ) -> list[ScenarioResult]:
     """The Fig 17 x-axis sweep at one (utilization, change-bound) panel."""
-    results = []
-    for interval in intervals_s:
-        cfg = ScenarioConfig(
-            n_dcs=base.n_dcs,
-            dc_capacity_bps=base.dc_capacity_bps,
-            fibers_per_dc=base.fibers_per_dc,
-            utilization=base.utilization,
-            workload=base.workload,
-            duration_s=base.duration_s,
-            change_interval_s=interval,
-            max_change=base.max_change,
-            switch_time_s=base.switch_time_s,
-            headroom_fibers=base.headroom_fibers,
-            flow_cap_fraction=base.flow_cap_fraction,
-            seed=base.seed,
-        )
-        results.append(run_comparison(cfg))
-    return results
+    return [
+        run_comparison(replace(base, change_interval_s=interval))
+        for interval in intervals_s
+    ]
 
 
 def repeat_comparison(
@@ -268,21 +372,4 @@ def repeat_comparison(
     """
     if not seeds:
         raise SimulationError("need at least one seed")
-    results = []
-    for seed in seeds:
-        cfg = ScenarioConfig(
-            n_dcs=base.n_dcs,
-            dc_capacity_bps=base.dc_capacity_bps,
-            fibers_per_dc=base.fibers_per_dc,
-            utilization=base.utilization,
-            workload=base.workload,
-            duration_s=base.duration_s,
-            change_interval_s=base.change_interval_s,
-            max_change=base.max_change,
-            switch_time_s=base.switch_time_s,
-            headroom_fibers=base.headroom_fibers,
-            flow_cap_fraction=base.flow_cap_fraction,
-            seed=seed,
-        )
-        results.append(run_comparison(cfg))
-    return results
+    return [run_comparison(replace(base, seed=seed)) for seed in seeds]

@@ -51,6 +51,23 @@ class TrafficMatrix:
         ranked = sorted(self.weights.values(), reverse=True)
         return sum(ranked[:k])
 
+    def relabel(self, mapping: Mapping[str, str]) -> "TrafficMatrix":
+        """The same matrix with DCs renamed through a bijection.
+
+        Robust-design capacity plans must be equivariant under relabeling
+        (renaming DCs renames the plan, nothing more); this is the test
+        harness's handle on that symmetry.
+        """
+        values = list(mapping.values())
+        if len(set(values)) != len(values):
+            raise SimulationError("relabeling must be a bijection")
+        raw: dict[Pair, float] = {}
+        for (a, b), w in self.weights.items():
+            raw[pair_key(mapping.get(a, a), mapping.get(b, b))] = w
+        if len(raw) != len(self.weights):
+            raise SimulationError("relabeling collapsed distinct pairs")
+        return TrafficMatrix(weights=raw)
+
 
 def _normalized(raw: Mapping[Pair, float]) -> TrafficMatrix:
     total = sum(raw.values())
@@ -105,3 +122,26 @@ def perturb_matrix(
         cold, hot = ranked[0], ranked[-1]
         raw[cold], raw[hot] = raw[hot], raw[cold]
     return _normalized(raw)
+
+
+def sample_ensemble(
+    dcs: Sequence[str],
+    rng: random.Random,
+    *,
+    count: int = 5,
+    skew: float = 1.4,
+    max_change: float | None = 0.5,
+) -> list[TrafficMatrix]:
+    """A TM ensemble for robust (METTEOR-style) planning.
+
+    The first matrix is a fresh heavy-tailed draw; each subsequent one is
+    a perturbation step of its predecessor, so the ensemble spans the
+    trajectory of plausible operating points rather than ``count``
+    unrelated draws. Consumes only the explicit ``rng``.
+    """
+    if count < 1:
+        raise SimulationError("ensemble needs at least one matrix")
+    tms = [heavy_tailed_matrix(dcs, rng, skew=skew)]
+    for _ in range(count - 1):
+        tms.append(perturb_matrix(tms[-1], rng, max_change))
+    return tms

@@ -61,7 +61,12 @@ def plan_key(
     ``config`` must hold every option that can change the plan's content
     (``prune_enumeration``, ``validate``, design-specific knobs) and none
     that cannot — execution options like ``jobs=`` are deliberately
-    excluded because plans are bit-identical across backends.
+    excluded because plans are bit-identical across backends. When a
+    design's input is itself structured data rather than a scalar knob —
+    the robust design's sampled TM ensemble, say — the config carries a
+    canonical *digest* of it (``designs.robust.ensemble_digest``), so two
+    ensembles with identical weights share a key regardless of how they
+    were constructed.
     ``pricebook`` is for artifacts that bake prices into their payload;
     plans themselves do not (costing happens downstream), so planner
     callers leave it ``None``.

@@ -243,6 +243,7 @@ class TestDesignRegistry:
             "eps",
             "hybrid",
             "iris",
+            "robust",
             "semidistributed",
         ]
 

@@ -1,0 +1,108 @@
+"""Golden regression pins for the Fig 17/18 simulation outputs.
+
+These pin the *exact* flow counts and reconfiguration counts (integers)
+and the p99 slowdowns (floats, to 1e-9) of fixed-seed scenarios, one per
+traffic backend:
+
+* the historical per-pair **poisson** backend — these pins prove the new
+  generator landed without perturbing the legacy flow traces;
+* the new **flowgen** backend — pinned separately, so its streams are
+  locked from their first release.
+
+Update a pin only for a deliberate change to the traffic model, never to
+"fix" a drifting test — drift here means a reproducibility regression.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.simulation.scenarios import (
+    ScenarioConfig,
+    run_comparison,
+    run_robust_comparison,
+)
+
+FIG17 = ScenarioConfig(
+    n_dcs=5,
+    duration_s=12.0,
+    change_interval_s=4.0,
+    utilization=0.6,
+    seed=17,
+)
+
+FIG18 = ScenarioConfig(
+    n_dcs=6,
+    workload="hadoop",
+    duration_s=12.0,
+    change_interval_s=4.0,
+    utilization=0.6,
+    seed=18,
+)
+
+
+class TestFig17Pins:
+    def test_poisson_backend_unchanged(self):
+        r = run_comparison(FIG17)
+        assert r.summary.iris_flows == 4662
+        assert r.reconfigurations == 1
+        assert r.fibers_moved == 1
+        assert r.summary.p99_all == pytest.approx(
+            1.0041157833389704, rel=1e-9
+        )
+        assert r.summary.p50_all == pytest.approx(1.0, rel=1e-9)
+
+    def test_flowgen_backend_pinned(self):
+        r = run_comparison(
+            replace(FIG17, traffic_backend="flowgen", interarrival="bursty")
+        )
+        assert r.summary.iris_flows == 4287
+        assert r.reconfigurations == 1
+        assert r.fibers_moved == 1
+        assert r.summary.p99_all == pytest.approx(
+            1.0024081463873948, rel=1e-9
+        )
+
+    def test_backends_share_the_tm_timeline(self):
+        # Same seed, different backend: the reconfiguration schedule
+        # (driven by the TM timeline, not the flows) is identical.
+        a = run_comparison(FIG17)
+        b = run_comparison(replace(FIG17, traffic_backend="flowgen"))
+        assert a.reconfigurations == b.reconfigurations
+        assert a.fibers_moved == b.fibers_moved
+
+
+@pytest.mark.statistical
+class TestFig18Pins:
+    def test_poisson_backend_unchanged(self):
+        r = run_comparison(FIG18)
+        assert r.summary.iris_flows == 9162
+        assert r.reconfigurations == 2
+        assert r.summary.p99_all == pytest.approx(
+            1.0034812917218723, rel=1e-9
+        )
+
+    def test_flowgen_backend_pinned(self):
+        r = run_comparison(replace(FIG18, traffic_backend="flowgen"))
+        assert r.summary.iris_flows == 5946
+        assert r.reconfigurations == 2
+        assert r.summary.p99_all == pytest.approx(1.0, rel=1e-9)
+
+
+@pytest.mark.statistical
+class TestRobustStaticPin:
+    def test_robust_static_fabric_pinned(self):
+        import random
+
+        from repro.simulation.traffic import sample_ensemble
+
+        ensemble = sample_ensemble(FIG17.dcs, random.Random(99), count=5)
+        r = run_robust_comparison(FIG17, ensemble)
+        # Same flow trace as the iris run (identical seed and backend)...
+        assert r.summary.iris_flows == 4662
+        # ...but a static fabric: no reconfigurations by construction.
+        assert r.reconfigurations == 0
+        assert r.fibers_moved == 0
+        assert r.summary.p99_all == pytest.approx(
+            1.0419296852529165, rel=1e-9
+        )

@@ -8,11 +8,18 @@ from hypothesis import given, settings, strategies as st
 from repro.exceptions import SimulationError
 from repro.simulation.traffic import (
     TrafficMatrix,
+    _normalized,
     heavy_tailed_matrix,
     perturb_matrix,
+    sample_ensemble,
 )
 
 DCS = [f"DC{i}" for i in range(1, 7)]
+
+# A seeded heavy-tailed matrix, as a hypothesis building block.
+matrices = st.integers(min_value=0, max_value=5000).map(
+    lambda seed: heavy_tailed_matrix(DCS, random.Random(seed))
+)
 
 
 class TestTrafficMatrix:
@@ -30,6 +37,81 @@ class TestTrafficMatrix:
         )
         assert tm.dc_load_share("A") == pytest.approx(0.9)
         assert tm.dc_load_share("C") == pytest.approx(0.4)
+
+
+class TestMatrixInvariants:
+    """Hypothesis property suite for the TrafficMatrix contracts."""
+
+    @given(tm=matrices)
+    @settings(max_examples=40, deadline=None)
+    def test_normalization_fixpoint(self, tm):
+        # Normalizing an already-normalized matrix changes nothing.
+        renorm = _normalized(tm.weights)
+        for pair, w in tm.weights.items():
+            assert renorm.weights[pair] == pytest.approx(w, rel=1e-12)
+
+    @given(tm=matrices)
+    @settings(max_examples=40, deadline=None)
+    def test_dc_load_shares_sum_to_two(self, tm):
+        # Every unit of pair traffic touches exactly two DCs.
+        assert sum(tm.dc_load_share(dc) for dc in DCS) == pytest.approx(2.0)
+
+    @given(tm=matrices, k=st.integers(min_value=0, max_value=20))
+    @settings(max_examples=40, deadline=None)
+    def test_top_heavy_fraction_monotone_and_bounded(self, tm, k):
+        frac = tm.top_heavy_fraction(k)
+        assert 0.0 <= frac <= 1.0 + 1e-9
+        assert tm.top_heavy_fraction(k + 1) >= frac - 1e-12
+        assert tm.top_heavy_fraction(len(tm.weights)) == pytest.approx(1.0)
+
+    @given(
+        tm=matrices,
+        seed=st.integers(min_value=0, max_value=1000),
+        # Bounded changes are fractions of the current weight: above 1.0
+        # the multiplicative factor can go negative, which the matrix
+        # constructor rightly rejects.
+        bound=st.one_of(st.none(), st.floats(min_value=0.0, max_value=1.0)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_mutations_preserve_sum_to_one(self, tm, seed, bound):
+        # Evolve-style mutation keeps the normalization contract.
+        new = perturb_matrix(tm, random.Random(seed), max_change=bound)
+        assert sum(new.weights.values()) == pytest.approx(1.0)
+        assert set(new.weights) == set(tm.weights)
+
+    @given(tm=matrices)
+    @settings(max_examples=30, deadline=None)
+    def test_relabel_is_weight_preserving(self, tm):
+        mapping = {dc: dc.replace("DC", "Z") for dc in DCS}
+        relabeled = tm.relabel(mapping)
+        assert sorted(relabeled.weights.values()) == sorted(
+            tm.weights.values()
+        )
+        for (a, b), w in tm.weights.items():
+            key = tuple(sorted((mapping[a], mapping[b])))
+            assert relabeled.weights[key] == w
+
+    def test_relabel_rejects_collisions(self):
+        tm = heavy_tailed_matrix(DCS, random.Random(1))
+        with pytest.raises(SimulationError):
+            tm.relabel({dc: "SAME" for dc in DCS})
+
+
+class TestSampleEnsemble:
+    def test_count_and_normalization(self):
+        ens = sample_ensemble(DCS, random.Random(4), count=6)
+        assert len(ens) == 6
+        for tm in ens:
+            assert sum(tm.weights.values()) == pytest.approx(1.0)
+
+    def test_deterministic_in_the_rng(self):
+        a = sample_ensemble(DCS, random.Random(8), count=4)
+        b = sample_ensemble(DCS, random.Random(8), count=4)
+        assert [tm.weights for tm in a] == [tm.weights for tm in b]
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(SimulationError):
+            sample_ensemble(DCS, random.Random(1), count=0)
 
 
 class TestHeavyTailed:

@@ -1,0 +1,358 @@
+"""The flow-centric traffic generator and its statistical contracts.
+
+The generator is statistical code, so the suite pins its claims three
+ways: hypothesis property tests (support, CDF monotonicity, seeded
+determinism, relabeling equivariance), golden quantile pins for every
+named distribution (platform/refactor drift guards), and a two-process
+byte-identity check on the encoded flow stream.
+"""
+
+import random
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import SimulationError
+from repro.simulation.traffic import heavy_tailed_matrix
+from repro.simulation.trafficgen import (
+    IA_BURSTY,
+    IA_SMOOTH,
+    INTERARRIVALS,
+    ExponentialInterarrival,
+    FlowGenerator,
+    InterarrivalDistribution,
+    PairLocality,
+    derive_seed,
+    encode_flow_stream,
+    flow_stream_digest,
+    generate_timeline_flows,
+)
+
+DCS = [f"DC{i}" for i in range(1, 5)]
+
+
+def _matrix(seed: int = 5):
+    return heavy_tailed_matrix(DCS, random.Random(seed))
+
+
+class TestInterarrivalCatalog:
+    def test_named_shapes(self):
+        assert set(INTERARRIVALS) == {"poisson", "smooth", "bursty"}
+
+    def test_bursty_is_heavy_tailed(self):
+        # Most gaps far below the mean, rare gaps far above: CV > 1.
+        assert IA_BURSTY.quantile(0.5) < 0.1
+        assert IA_BURSTY.quantile(0.99) > 10.0
+
+    def test_smooth_is_concentrated(self):
+        assert 0.5 <= IA_SMOOTH.quantile(0.05)
+        assert IA_SMOOTH.quantile(0.95) <= 2.0
+
+    @given(u=st.floats(min_value=0.0, max_value=0.999999))
+    @settings(max_examples=60, deadline=None)
+    def test_quantile_support_and_monotonicity(self, u):
+        for dist in (IA_SMOOTH, IA_BURSTY):
+            lo = dist.points[0][0]
+            hi = dist.points[-1][0]
+            q = dist.quantile(u)
+            assert lo * 0.99 <= q <= hi * 1.01
+            # Monotone: a larger u never yields a smaller gap.
+            if u < 0.99:
+                assert dist.quantile(u + 1e-6) >= q - 1e-12
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_sampling_deterministic_per_seed(self, seed):
+        for dist in INTERARRIVALS.values():
+            a = [dist.sample(random.Random(seed)) for _ in range(5)]
+            b = [dist.sample(random.Random(seed)) for _ in range(5)]
+            assert a == b
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(SimulationError):
+            IA_BURSTY.quantile(1.0)
+        with pytest.raises(SimulationError):
+            ExponentialInterarrival().quantile(-0.1)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            InterarrivalDistribution("x", ((1.0, 0.0),))
+        with pytest.raises(SimulationError):
+            InterarrivalDistribution("x", ((0.0, 0.0), (1.0, 1.0)))
+        with pytest.raises(SimulationError):
+            InterarrivalDistribution("x", ((1.0, 0.0), (2.0, 0.9)))
+        with pytest.raises(SimulationError):
+            InterarrivalDistribution("x", ((2.0, 0.0), (1.0, 1.0)))
+
+    @pytest.mark.statistical
+    def test_empirical_mean_tracks_exact_mean(self):
+        # mean() integrates the log-linear segments exactly; the sample
+        # mean must converge to it.
+        for dist in (IA_SMOOTH, IA_BURSTY):
+            rng = random.Random(13)
+            n = 40_000
+            mean = sum(dist.sample(rng) for _ in range(n)) / n
+            assert mean == pytest.approx(dist.mean(), rel=0.15)
+
+
+class TestGoldenQuantiles:
+    """Exact inverse-CDF pins for every named distribution.
+
+    Any change to the knot tables or the interpolation scheme moves
+    these values; update them only for a deliberate distribution change.
+    """
+
+    US = (0.05, 0.25, 0.5, 0.75, 0.95, 0.99)
+
+    GOLDEN = {
+        "poisson": (
+            0.05129329438755058,
+            0.2876820724517809,
+            0.6931471805599453,
+            1.3862943611198906,
+            2.99573227355399,
+            4.605170185988091,
+        ),
+        "smooth": (
+            0.5533409598501607,
+            0.7863098784635412,
+            0.9782670396418924,
+            1.168359576953514,
+            1.6309506430300087,
+            1.8428544871267747,
+        ),
+        "bursty": (
+            0.005230641944047326,
+            0.015294489826634606,
+            0.06062866266041591,
+            0.4954358151163562,
+            5.477225575051655,
+            24.49489742783178,
+        ),
+    }
+
+    GOLDEN_MEANS = {
+        "poisson": 1.0,
+        "smooth": 1.0031480708605809,
+        "bursty": 1.1975419887214767,
+    }
+
+    def test_quantile_pins(self):
+        for name, expected in self.GOLDEN.items():
+            dist = INTERARRIVALS[name]
+            got = tuple(dist.quantile(u) for u in self.US)
+            assert got == expected, name
+
+    def test_mean_pins(self):
+        for name, expected in self.GOLDEN_MEANS.items():
+            assert INTERARRIVALS[name].mean() == expected, name
+
+
+class TestPairLocality:
+    def test_samples_cover_only_matrix_pairs(self):
+        tm = _matrix()
+        sampler = PairLocality.from_matrix(tm)
+        rng = random.Random(2)
+        seen = {sampler.sample(rng) for _ in range(500)}
+        assert seen <= set(tm.pairs())
+
+    def test_hot_pair_dominates(self):
+        tm = _matrix()
+        hot = max(tm.weights, key=tm.weights.get)
+        sampler = PairLocality.from_matrix(tm)
+        rng = random.Random(3)
+        n = 3000
+        hits = sum(sampler.sample(rng) == hot for _ in range(n))
+        assert hits / n == pytest.approx(tm.weights[hot], abs=0.05)
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_order_preserving_relabel_equivariance(self, seed):
+        # Renaming DCs through an order-preserving bijection permutes
+        # nothing in the canonical pair ordering, so the draw sequence
+        # maps 1:1 through the relabeling.
+        tm = _matrix(seed)
+        mapping = {dc: dc.replace("DC", "DX") for dc in DCS}
+        relabeled = tm.relabel(mapping)
+        a = PairLocality.from_matrix(tm)
+        b = PairLocality.from_matrix(relabeled)
+        draws_a = [a.sample(random.Random(seed * 31 + 1)) for _ in range(50)]
+        draws_b = [b.sample(random.Random(seed * 31 + 1)) for _ in range(50)]
+        assert [
+            (mapping[x], mapping[y]) for x, y in draws_a
+        ] == draws_b
+
+
+class TestDeriveSeed:
+    def test_deterministic_and_salt_sensitive(self):
+        assert derive_seed(404, 0) == 827878853181572174
+        assert derive_seed(404, 0) == derive_seed(404, 0)
+        assert derive_seed(404, 0) != derive_seed(404, 1)
+        assert derive_seed(404, 0) != derive_seed(405, 0)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        salt=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_no_adjacent_correlation(self, seed, salt):
+        # Neighbouring seeds must not yield neighbouring substreams.
+        assert abs(derive_seed(seed, salt) - derive_seed(seed + 1, salt)) > 1000
+
+
+class TestFlowGenerator:
+    def test_unknown_names_rejected(self):
+        with pytest.raises(SimulationError):
+            FlowGenerator(sizes="nope", locality=_matrix())
+        with pytest.raises(SimulationError):
+            FlowGenerator(sizes="web1", gaps="nope", locality=_matrix())
+
+    def test_invalid_run_arguments(self):
+        g = FlowGenerator(sizes="web1", locality=_matrix(), seed=1)
+        with pytest.raises(SimulationError):
+            g.flows(duration_s=0, offered_bps=1e9)
+        with pytest.raises(SimulationError):
+            g.flows(duration_s=1.0, offered_bps=0)
+
+    def test_flows_sorted_in_window_with_valid_pairs(self):
+        tm = _matrix()
+        g = FlowGenerator(sizes="web1", gaps="bursty", locality=tm, seed=7)
+        flows = g.flows(duration_s=3.0, offered_bps=1e9, t0=10.0)
+        assert flows
+        times = [t for t, *_ in flows]
+        assert times == sorted(times)
+        assert all(10.0 <= t < 13.0 for t in times)
+        pairs = set(tm.pairs())
+        assert all((src, dst) in pairs for _, src, dst, _ in flows)
+        assert all(
+            isinstance(size, int) and size > 0 for *_, size in flows
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_seeded_determinism(self, seed):
+        def stream():
+            g = FlowGenerator(
+                sizes="web2", gaps="bursty", locality=_matrix(), seed=seed
+            )
+            return g.flows(duration_s=1.0, offered_bps=1e9)
+
+        assert encode_flow_stream(stream()) == encode_flow_stream(stream())
+
+    def test_different_seeds_differ(self):
+        tm = _matrix()
+
+        def digest(seed):
+            g = FlowGenerator(sizes="web1", locality=tm, seed=seed)
+            return flow_stream_digest(g.flows(duration_s=2.0, offered_bps=1e9))
+
+        assert digest(1) != digest(2)
+
+    @pytest.mark.statistical
+    def test_offered_load_is_respected(self):
+        # Total bits generated over a long window tracks offered_bps.
+        tm = _matrix()
+        g = FlowGenerator(sizes="cache", gaps="poisson", locality=tm, seed=3)
+        duration, offered = 60.0, 2e9
+        flows = g.flows(duration_s=duration, offered_bps=offered)
+        total_bits = sum(size for *_, size in flows)
+        assert total_bits / duration == pytest.approx(offered, rel=0.15)
+
+    @pytest.mark.statistical
+    def test_locality_marginal_matches_matrix(self):
+        tm = _matrix()
+        g = FlowGenerator(sizes="web2", gaps="smooth", locality=tm, seed=9)
+        flows = g.flows(duration_s=30.0, offered_bps=2e9)
+        counts: dict = {}
+        for _, src, dst, _ in flows:
+            counts[(src, dst)] = counts.get((src, dst), 0) + 1
+        hot = max(tm.weights, key=tm.weights.get)
+        assert counts[hot] / len(flows) == pytest.approx(
+            tm.weights[hot], abs=0.06
+        )
+
+
+class TestGoldenFlowStream:
+    """The canonical stream for one fixed recipe, pinned by digest."""
+
+    RECIPE_DIGEST = (
+        "0afa367bb45a4f035a982488aeed2584f0bdd24076915181e97ec9e24e71d6ea"
+    )
+
+    @staticmethod
+    def _stream():
+        tm = heavy_tailed_matrix(
+            [f"DC{i}" for i in range(1, 5)], random.Random(5)
+        )
+        g = FlowGenerator(sizes="web1", gaps="bursty", locality=tm, seed=404)
+        return g.flows(duration_s=5.0, offered_bps=1e9)
+
+    def test_digest_pin(self):
+        flows = self._stream()
+        assert len(flows) == 663
+        assert flow_stream_digest(flows) == self.RECIPE_DIGEST
+
+    def test_two_process_byte_identity(self):
+        # The acceptance criterion: same seed, different OS process,
+        # identical stream bytes.
+        code = (
+            "import random\n"
+            "from repro.simulation.traffic import heavy_tailed_matrix\n"
+            "from repro.simulation.trafficgen import FlowGenerator, "
+            "flow_stream_digest\n"
+            "tm = heavy_tailed_matrix([f'DC{i}' for i in range(1, 5)], "
+            "random.Random(5))\n"
+            "g = FlowGenerator(sizes='web1', gaps='bursty', locality=tm, "
+            "seed=404)\n"
+            "print(flow_stream_digest("
+            "g.flows(duration_s=5.0, offered_bps=1e9)))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert out.stdout.strip() == flow_stream_digest(self._stream())
+        assert out.stdout.strip() == self.RECIPE_DIGEST
+
+
+class TestTimelineFlows:
+    def test_intervals_are_independent_substreams(self):
+        tms = [_matrix(1), _matrix(2), _matrix(3)]
+        timeline = [(0.0, tms[0]), (2.0, tms[1]), (4.0, tms[2])]
+        loads = [1e9, 1e9, 1e9]
+        base = generate_timeline_flows(
+            timeline,
+            duration_s=6.0,
+            offered_bps_per_tm=loads,
+            sizes="web1",
+            gaps="bursty",
+            seed=77,
+        )
+        # Doubling the middle interval's load leaves the other
+        # intervals' flows untouched.
+        heavier = generate_timeline_flows(
+            timeline,
+            duration_s=6.0,
+            offered_bps_per_tm=[1e9, 2e9, 1e9],
+            sizes="web1",
+            gaps="bursty",
+            seed=77,
+        )
+        outside = [f for f in base if not (2.0 <= f[0] < 4.0)]
+        outside_heavier = [f for f in heavier if not (2.0 <= f[0] < 4.0)]
+        assert outside == outside_heavier
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(SimulationError):
+            generate_timeline_flows(
+                [(0.0, _matrix())],
+                duration_s=1.0,
+                offered_bps_per_tm=[1e9, 2e9],
+                sizes="web1",
+                gaps="poisson",
+                seed=1,
+            )
