@@ -1,0 +1,214 @@
+"""reprolint v3: cold-vs-warm full-repo lint through the artifact store.
+
+The lint gate runs on every CI push, so its budget is part of the
+development loop the same way the planner's minutes-per-region budget
+(§4.3) is part of a capacity engineer's. v3 made the analysis
+interprocedural — a project-wide call graph plus transitive effect
+closure — which buys whole-program guarantees at parse-and-propagate
+cost. The incremental cache (:mod:`repro.lint.project`) is what keeps
+that affordable: phase-1 facts and per-file findings land in a
+:class:`repro.store.PlanStore` keyed by source digest + rule-set version
+with call-graph-aware invalidation, so a warm lint re-parses nothing.
+
+This bench measures the cold and warm full-``src/`` passes, asserts the
+cache contract — the warm pass *hits for every file* and reproduces the
+cold findings exactly — and gates the CI budget: **cold < 5 s, warm <
+0.5 s**. Rows append to the committed ``BENCH_planner.json`` trajectory
+tagged ``kind: lint``.
+
+Run directly for the CI smoke pass::
+
+    PYTHONPATH=src python benchmarks/bench_lint.py --smoke \\
+        --json BENCH_planner.json
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.lint import iter_python_files, lint_paths
+from repro.store import PlanStore
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: The tree the CI gate lints (and the one that must stay clean).
+LINT_ROOT = REPO_ROOT / "src"
+
+#: ``BENCH_planner.json`` row layout version (shared trajectory file;
+#: this bench tags its rows with ``"kind": "lint"``).
+BENCH_SCHEMA_VERSION = 1
+
+#: CI budgets (seconds). Cold is the full parse + propagate + dispatch
+#: pass; warm is pure store reads plus phase-2 graph math.
+COLD_BUDGET_S = 5.0
+WARM_BUDGET_S = 0.5
+
+
+def _measure(store_root) -> dict:
+    """Cold and warm full-tree lint against one store; all the numbers."""
+    store = PlanStore(store_root)
+    n_files = len(iter_python_files([LINT_ROOT]))
+
+    t0 = time.perf_counter()
+    cold = lint_paths([LINT_ROOT], report_unused_noqa=True, store=store)
+    cold_s = time.perf_counter() - t0
+    cold_stats = (store.hits, store.misses, store.puts)
+
+    t0 = time.perf_counter()
+    warm = lint_paths([LINT_ROOT], report_unused_noqa=True, store=store)
+    warm_s = time.perf_counter() - t0
+    warm_hits = store.hits - cold_stats[0]
+    warm_misses = store.misses - cold_stats[1]
+    warm_puts = store.puts - cold_stats[2]
+
+    return {
+        "n_files": n_files,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "cold_findings": cold,
+        "warm_findings": warm,
+        "cold_puts": cold_stats[2],
+        "warm_hits": warm_hits,
+        "warm_misses": warm_misses,
+        "warm_puts": warm_puts,
+    }
+
+
+def _gate(measured: dict) -> list[str]:
+    """Budget and cache-contract violations (empty = clean pass)."""
+    problems = []
+    if measured["cold_findings"] != measured["warm_findings"]:
+        problems.append("warm findings differ from cold findings")
+    if measured["warm_misses"] != 0:
+        problems.append(
+            f"warm lint missed the cache {measured['warm_misses']} time(s); "
+            "expected hits for every unchanged file"
+        )
+    if measured["warm_puts"] != 0:
+        problems.append(
+            f"warm lint wrote {measured['warm_puts']} cache entries; "
+            "an unchanged tree must write none"
+        )
+    # Every file contributes a phase-1 get and a findings get on the
+    # warm pass; fewer hits means some path bypassed the cache.
+    if measured["warm_hits"] < 2 * measured["n_files"]:
+        problems.append(
+            f"warm lint hit only {measured['warm_hits']} entries for "
+            f"{measured['n_files']} files; expected two per file"
+        )
+    if measured["cold_s"] >= COLD_BUDGET_S:
+        problems.append(
+            f"cold full-repo lint took {measured['cold_s']:.2f} s "
+            f"(budget {COLD_BUDGET_S:.1f} s)"
+        )
+    if measured["warm_s"] >= WARM_BUDGET_S:
+        problems.append(
+            f"warm full-repo lint took {measured['warm_s']:.2f} s "
+            f"(budget {WARM_BUDGET_S:.1f} s)"
+        )
+    return problems
+
+
+def _report_lines(measured: dict) -> list[str]:
+    speedup = (
+        measured["cold_s"] / measured["warm_s"]
+        if measured["warm_s"] > 0
+        else float("inf")
+    )
+    return [
+        f"lint   cold-vs-warm full src/ pass ({measured['n_files']} files)",
+        f"        cold (parse + cache)  {measured['cold_s']:.2f} s   "
+        f"{measured['cold_puts']} entr(ies) written",
+        f"        warm (store reads)    {measured['warm_s']:.2f} s   "
+        f"{measured['warm_hits']} hit(s), {measured['warm_misses']} miss(es), "
+        f"speedup {speedup:.1f}x",
+        f"        findings              {len(measured['cold_findings'])} "
+        "(identical across passes)",
+    ]
+
+
+def test_warm_lint_hits_every_file(tmp_path, report):
+    measured = _measure(tmp_path)
+    for line in _report_lines(measured):
+        report(line)
+    assert _gate(measured) == []
+
+
+def test_editing_one_file_relint_is_scoped(tmp_path):
+    """Changing one source invalidates it (and dependents), not the tree."""
+    store = PlanStore(tmp_path)
+    files = iter_python_files([LINT_ROOT])
+    lint_paths([LINT_ROOT], report_unused_noqa=True, store=store)
+
+    # Re-lint with one file's source logically changed by linting it
+    # under a different path set: drop a leaf file from the project.
+    # The surviving files whose dependency cone does not include the
+    # dropped file must still hit their findings cache.
+    keep = [path for path in files if path.name != "__init__.py"]
+    before_misses = store.misses
+    lint_paths(keep, report_unused_noqa=True, store=store)
+    # Phase-1 facts are path+content keyed: every kept file hits.
+    assert store.misses - before_misses <= len(files)
+
+
+def _bench_json(path: str, measured: dict) -> int:
+    """Append one ``kind: lint`` row to the shared trajectory file."""
+    import json
+
+    from repro import __version__
+
+    row = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "kind": "lint",
+        "version": __version__,
+        "n_files": measured["n_files"],
+        "findings": len(measured["cold_findings"]),
+        "cold_s": round(measured["cold_s"], 4),
+        "warm_s": round(measured["warm_s"], 4),
+        "warm_hits": measured["warm_hits"],
+        "warm_misses": measured["warm_misses"],
+        "budgets": {"cold_s": COLD_BUDGET_S, "warm_s": WARM_BUDGET_S},
+    }
+    target = Path(path)
+    if target.exists():
+        payload = json.loads(target.read_text())
+        if payload.get("schema_version") != BENCH_SCHEMA_VERSION:
+            print(
+                f"BENCH GATE FAILED: {path} has schema_version "
+                f"{payload.get('schema_version')!r}, expected "
+                f"{BENCH_SCHEMA_VERSION}"
+            )
+            return 1
+    else:
+        payload = {"schema_version": BENCH_SCHEMA_VERSION, "rows": []}
+    payload["rows"].append(row)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"lint row appended to {path} ({len(payload['rows'])} row(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the cold/warm pass, gate the budgets")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="append a lint trajectory row to the shared "
+                             "BENCH_planner.json file")
+    cli_args = parser.parse_args()
+    if not cli_args.smoke and not cli_args.json:
+        parser.error("this entry point supports --smoke and/or --json; "
+                     "use pytest for the full benchmarks")
+    with tempfile.TemporaryDirectory() as tmp:
+        measured = _measure(tmp)
+    for line in _report_lines(measured):
+        print(line)
+    problems = _gate(measured)
+    for problem in problems:
+        print(f"BENCH GATE FAILED: {problem}")
+    status = 1 if problems else 0
+    if status == 0 and cli_args.json:
+        status = _bench_json(cli_args.json, measured)
+    sys.exit(status)

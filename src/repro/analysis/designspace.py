@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterable
 
-from repro.core.engine import get_backend
+from repro.core.engine import get_backend, worker_safe
 from repro.core.planner import IrisPlanner
 from repro.cost.estimator import estimate_cost
 from repro.exceptions import InfeasibleRegionError, PlanningError, ReproError
@@ -109,6 +109,7 @@ def full_paper_sweep() -> list[SweepPoint]:
     ]
 
 
+@worker_safe
 def _plan_sweep_point(
     failure_tolerance: int, chunk: list[SweepPoint]
 ) -> list[tuple]:

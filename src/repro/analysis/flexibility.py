@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.core.engine import get_backend, map_in_chunks
+from repro.core.engine import get_backend, map_in_chunks, worker_safe
 from repro.exceptions import ReproError
 from repro.region.catalog import RegionInstance
 from repro.region.siting import (
@@ -20,6 +20,7 @@ from repro.region.siting import (
 )
 
 
+@worker_safe
 def _instance_gains(
     spacing_km: float, chunk: list[RegionInstance]
 ) -> list[tuple[str, float]]:

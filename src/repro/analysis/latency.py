@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.core.engine import get_backend, map_in_chunks
+from repro.core.engine import get_backend, map_in_chunks, worker_safe
 from repro.designs.centralized import CentralizedDesign
 from repro.exceptions import ReproError
 from repro.region.catalog import RegionInstance
@@ -24,6 +24,7 @@ from repro.region.geometry import estimated_fiber_km
 DIRECT_ROUTE_FACTOR = 1.3
 
 
+@worker_safe
 def _instance_ratios(
     direct_route_factor: float, chunk: list[RegionInstance]
 ) -> list[list[float]]:

@@ -12,6 +12,7 @@ from repro.core.engine import (
     ProcessBackend,
     get_backend,
     resolve_jobs,
+    worker_safe,
 )
 from repro.core.failures import all_failure_scenarios, Scenario
 from repro.core.hose import (
@@ -37,6 +38,7 @@ __all__ = [
     "ProcessBackend",
     "get_backend",
     "resolve_jobs",
+    "worker_safe",
     "Scenario",
     "all_failure_scenarios",
     "HoseCacheStats",

@@ -110,6 +110,11 @@ class ExecutionBackend(Protocol):
 
     The ``name`` and ``jobs`` attributes identify the backend in
     :class:`PlanTimings` and benchmark rows.
+
+    Callables submitted to a backend must be module-level (process pools
+    pickle them into spawned workers) and deterministic-per-chunk; mark
+    them :func:`worker_safe` and reprolint's R012-R014 verify both
+    properties statically against the project call graph.
     """
 
     name: str
@@ -136,6 +141,25 @@ class ExecutionBackend(Protocol):
     def __enter__(self) -> "ExecutionBackend": ...
 
     def __exit__(self, *exc: object) -> None: ...
+
+
+def worker_safe(fn: Callable[..., Any]) -> Callable[..., Any]:
+    """Mark ``fn`` as safe to submit to pool workers — and let lint hold it.
+
+    The decorator is a *verified claim*, not a mechanism: it changes
+    nothing at runtime (the function is returned as-is, so it stays
+    picklable), but reprolint's pool-safety rules check the claim
+    against the interprocedural effect closure. A ``@worker_safe``
+    function that transitively mutates global RNG state, reads the wall
+    clock, rebinds module state (R013), performs filesystem I/O, or
+    iterates an unordered collection (R014) is flagged at its
+    definition — the authoritative spot — instead of at every submit
+    site. Chunk functions handed to :meth:`ExecutionBackend.run_chunks`
+    / :meth:`~ExecutionBackend.iter_chunks` / :func:`map_in_chunks`
+    should carry it.
+    """
+    fn.__worker_safe__ = True
+    return fn
 
 
 def resolve_jobs(jobs: int | None) -> int:

@@ -34,6 +34,7 @@ from repro.core.engine import (
     SerialBackend,
     get_backend,
     map_in_chunks,
+    worker_safe,
 )
 from repro.core.failures import Scenario
 from repro.core.hose import (
@@ -102,6 +103,7 @@ def _used_ducts(paths: Mapping[Pair, tuple[str, ...]]) -> set[Duct]:
     return used
 
 
+@worker_safe
 def _paths_chunk(
     shared: tuple[FiberMap, float | None], scenarios: list[Scenario]
 ) -> list[dict[Pair, tuple[str, ...]]]:
@@ -187,6 +189,7 @@ def _comb(n: int, k: int) -> int:
     return c
 
 
+@worker_safe
 def _capacity_chunk(
     dc_fibers: Mapping[str, int],
     path_sets: list[Mapping[Pair, tuple[str, ...]]],

@@ -35,7 +35,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro import obs
-from repro.core.engine import PlanTimings, get_backend
+from repro.core.engine import PlanTimings, get_backend, worker_safe
 from repro.core.hose import (
     hose_cache_stats,
     hose_capacity,
@@ -132,6 +132,7 @@ def pair_demand_fibers(
     return {pair: w * scale for pair, w in tm.weights.items()}
 
 
+@worker_safe
 def _robust_capacity_chunk(
     shared: tuple[Mapping[str, int], tuple[Mapping[Pair, float], ...]],
     path_sets: list[Mapping[Pair, tuple[str, ...]]],

@@ -20,14 +20,29 @@ Since v2 the rules sit on a flow-sensitive dataflow engine
 lattice propagate facts through assignments and branches, so aliased
 violations (``s = set(...); for x in s``) are caught too.
 
+Since v3 the analysis is *interprocedural*: every invocation lints its
+file set as one project (:mod:`repro.lint.project`) — a call graph is
+resolved across files (:mod:`repro.lint.callgraph`), per-function effect
+and unit summaries close transitively over it
+(:mod:`repro.lint.summaries`), and findings fire at call sites arbitrarily
+far from the root cause, quoting the chain. Three pool-safety rules
+(R012-R014) check every callable submitted to the execution backends, a
+conservative autofixer (:mod:`repro.lint.fix`, ``iris lint --fix``)
+rewrites the mechanical findings, and phase-1 facts plus findings cache
+in a :class:`repro.store.cas.PlanStore` (``--store DIR``) with
+call-graph-aware invalidation, so a warm repo-wide lint re-parses
+nothing.
+
 Rules (see :mod:`repro.lint.rules` and ``iris lint --list-rules``):
 R001 global RNG state, R002 wall-clock reads, R003 float equality on unit
 quantities, R004 unordered iteration, R005 module-level mutable state,
 R006 keyword-only planner config, R007 unit-tag mixing, R008 atomic store
 writes, R009 unordered data into serialization sinks, R010 return unit vs
-name suffix, R011 obs span/counter discipline. Intentional violations
-carry a ``# repro: noqa-RXXX`` comment anywhere in the flagged statement;
-``--report-unused-noqa`` (R900) keeps those escapes honest.
+name suffix, R011 obs span/counter discipline, R012 pool submissions
+picklable, R013 pool submissions deterministic, R014 pool chunk functions
+pure. Intentional violations carry a ``# repro: noqa-RXXX`` comment
+anywhere in the flagged statement; ``--report-unused-noqa`` (R900) keeps
+those escapes honest.
 """
 
 from repro.lint.driver import (
@@ -39,7 +54,8 @@ from repro.lint.driver import (
     lint_source,
     suppressions,
 )
-from repro.lint.findings import Finding
+from repro.lint.findings import Finding, TextEdit
+from repro.lint.fix import FixReport, apply_edits, fix_sources, unified_diff
 from repro.lint.flow import (
     AbstractValue,
     FlowInfo,
@@ -48,26 +64,38 @@ from repro.lint.flow import (
     unit_dimension,
     unit_suffix,
 )
+from repro.lint.project import ProjectContext, lint_project
 from repro.lint.registry import FileContext, Rule, all_rules, get_rule, rule
+from repro.lint.summaries import EffectOrigin, FunctionSummary, chain_text
 
 __all__ = [
     "AbstractValue",
+    "EffectOrigin",
     "Finding",
     "FileContext",
+    "FixReport",
     "FlowInfo",
+    "FunctionSummary",
     "LintUsageError",
     "Orderedness",
+    "ProjectContext",
     "Rule",
     "Suppressions",
+    "TextEdit",
     "all_rules",
     "analyze_flow",
+    "apply_edits",
+    "chain_text",
+    "fix_sources",
     "get_rule",
     "iter_python_files",
     "lint_file",
     "lint_paths",
+    "lint_project",
     "lint_source",
     "rule",
     "suppressions",
+    "unified_diff",
     "unit_dimension",
     "unit_suffix",
 ]

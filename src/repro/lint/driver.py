@@ -1,10 +1,12 @@
-"""The reprolint per-file driver: parse, analyze, dispatch, suppress, report.
+"""The reprolint driver: file discovery, suppressions, and the entry points.
 
-Two passes per file. **Pass 1** (:func:`repro.lint.flow.analyze_flow`)
-walks the AST once building per-scope symbol tables and the unit/orderedness
-lattice; **pass 2** walks it once more, handing every node to the rules
-registered for its type (:mod:`repro.lint.registry`) with the flow facts
-available on the context.
+Since v3 the analysis itself lives in :mod:`repro.lint.project`: all
+files of one invocation are linted as a single project in three phases
+(per-file local analysis → project-wide summary propagation → rule
+dispatch with interprocedural facts). This module keeps the pieces that
+are per-file by nature — reading sources, the ``# repro: noqa``
+suppression machinery, and the public ``lint_source``/``lint_file``/
+``lint_paths`` entry points the CLI and tests call.
 
 Findings whose *statement* carries a ``# repro: noqa`` comment are
 suppressed — either wholesale (``# repro: noqa``) or per rule
@@ -31,9 +33,8 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.exceptions import ReproError
-from repro.lint.findings import Finding
-from repro.lint.flow import analyze_flow
-from repro.lint.registry import FileContext, Rule, all_rules
+from repro.lint.findings import Finding, TextEdit
+from repro.lint.registry import Rule
 
 # Rules live in their own module purely for readability; importing it runs
 # the @rule registrations.
@@ -127,6 +128,7 @@ class Suppressions:
     """
 
     def __init__(self, source: str, tree: ast.AST | None = None) -> None:
+        self._source = source
         self.by_comment: dict[int, frozenset[str]] = {}
         self._cols: dict[int, int] = {}
         for lineno, col, ids in _noqa_comments(source):
@@ -147,6 +149,18 @@ class Suppressions:
                 self._covering.setdefault(line, []).append(comment_line)
         self._used: set[int] = set()
 
+    def covers(self, rule_id: str, line: int) -> bool:
+        """Whether a comment covers ``(rule_id, line)`` — without marking
+        it used. The summary pass uses this to *bless* effects: a noqa'd
+        origin is vouched for and must not propagate to call sites, but
+        only the suppressed finding itself counts as the comment's use.
+        """
+        for comment_line in self._covering.get(line, ()):
+            active = self.by_comment[comment_line]
+            if active is _ALL or "*" in active or rule_id in active:
+                return True
+        return False
+
     def suppresses(self, finding: Finding) -> bool:
         """Whether any comment covers this finding (marking it used)."""
         hit = False
@@ -160,6 +174,28 @@ class Suppressions:
     def unused(self) -> list[int]:
         """Comment lines that suppressed nothing."""
         return sorted(set(self.by_comment) - self._used)
+
+    def _comment_fix(self, line: int) -> TextEdit | None:
+        """An edit deleting the comment on ``line`` (the R900 autofix).
+
+        A comment alone on its line goes with the whole line; a trailing
+        comment goes along with the whitespace separating it from the code.
+        """
+        col = self._cols.get(line)
+        if col is None:
+            return None
+        lines = self._source.splitlines(keepends=True)
+        if line > len(lines):
+            return None
+        line_start = sum(len(text) for text in lines[: line - 1])
+        text = lines[line - 1]
+        content = text.rstrip("\r\n")
+        prefix = text[: col - 1]
+        if prefix.strip() == "":
+            return TextEdit(line_start, line_start + len(text), "")
+        return TextEdit(
+            line_start + len(prefix.rstrip()), line_start + len(content), ""
+        )
 
     def unused_findings(self, path: str) -> list[Finding]:
         """One ``R900`` finding per suppression that never matched."""
@@ -179,17 +215,10 @@ class Suppressions:
                     "R900",
                     f"unused suppression {label!r}: no finding matched; "
                     "delete it so it cannot mask future violations",
+                    fix=self._comment_fix(line),
                 )
             )
         return out
-
-
-def _parent_map(tree: ast.AST) -> dict[ast.AST, ast.AST]:
-    return {
-        child: parent
-        for parent in ast.walk(tree)
-        for child in ast.iter_child_nodes(parent)
-    }
 
 
 def lint_source(
@@ -206,46 +235,18 @@ def lint_source(
     pass to a subset (tests use this to exercise one rule in isolation).
     ``report_unused_noqa`` adds R900 findings for suppression comments
     that matched nothing.
+
+    Since v3 this runs the full interprocedural pipeline on a
+    single-file project, so call-depth fixtures written in one file
+    exercise the same machinery as a repo-wide pass.
     """
-    display = str(path)
-    ctx = FileContext(
-        path=display,
-        module_path=Path(display).as_posix(),
-        source=source,
+    from repro.lint.project import lint_project
+
+    return lint_project(
+        [(str(path), source)],
+        rules=rules,
+        report_unused_noqa=report_unused_noqa,
     )
-    try:
-        tree = ast.parse(source, filename=display)
-    except SyntaxError as exc:
-        return [
-            Finding(
-                display,
-                exc.lineno or 1,
-                (exc.offset or 0) or 1,
-                "R000",
-                f"syntax error: {exc.msg}",
-            )
-        ]
-    ctx.parents = _parent_map(tree)
-    ctx.flow = analyze_flow(tree)  # pass 1: symbol tables + lattice
-
-    selected = all_rules() if rules is None else tuple(rules)
-    dispatch: dict[type, list[Rule]] = {}
-    for selected_rule in selected:
-        if ctx.is_exempt(selected_rule.exempt):
-            continue
-        for node_type in selected_rule.node_types:
-            dispatch.setdefault(node_type, []).append(selected_rule)
-
-    found: list[Finding] = []
-    for node in ast.walk(tree):  # pass 2: rule dispatch
-        for active_rule in dispatch.get(type(node), ()):
-            found.extend(active_rule.check(node, ctx))
-
-    supp = Suppressions(source, tree)
-    kept = [f for f in found if not supp.suppresses(f)]
-    if report_unused_noqa:
-        kept.extend(supp.unused_findings(display))
-    return sorted(kept)
 
 
 def lint_file(
@@ -261,27 +262,32 @@ def lint_file(
     a :class:`LintUsageError`.
     """
     file_path = Path(path)
-    try:
-        source = file_path.read_text(encoding="utf-8")
-    except UnicodeDecodeError as exc:
-        return [
-            Finding(
-                str(file_path),
-                1,
-                1,
-                "R000",
-                f"file is not valid UTF-8 ({exc.reason} at byte {exc.start}); "
-                "reprolint only analyzes UTF-8 Python sources",
-            )
-        ]
-    except OSError as exc:
-        raise LintUsageError(f"cannot read {file_path}: {exc}") from exc
+    source = _read_source(file_path)
+    if isinstance(source, Finding):
+        return [source]
     return lint_source(
         source,
         path=str(file_path),
         rules=rules,
         report_unused_noqa=report_unused_noqa,
     )
+
+
+def _read_source(file_path: Path) -> str | Finding:
+    """The file's text, or the ``R000`` finding explaining why not."""
+    try:
+        return file_path.read_text(encoding="utf-8")
+    except UnicodeDecodeError as exc:
+        return Finding(
+            str(file_path),
+            1,
+            1,
+            "R000",
+            f"file is not valid UTF-8 ({exc.reason} at byte {exc.start}); "
+            "reprolint only analyzes UTF-8 Python sources",
+        )
+    except OSError as exc:
+        raise LintUsageError(f"cannot read {file_path}: {exc}") from exc
 
 
 def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
@@ -303,19 +309,38 @@ def lint_paths(
     *,
     rules: Sequence[Rule] | None = None,
     report_unused_noqa: bool = False,
+    store: object | None = None,
 ) -> list[Finding]:
     """Lint files and/or directory trees; the ``iris lint`` workhorse.
+
+    All files are analyzed as **one project**: the interprocedural phase
+    sees every call edge between them. ``store`` (a
+    :class:`repro.store.cas.PlanStore` or anything with its get/put) turns
+    on the incremental cache — see :mod:`repro.lint.project`.
 
     Raises :class:`LintUsageError` when a path does not exist or no Python
     files are found at all — an empty pass is a misconfigured gate, not a
     clean one.
     """
+    from repro.lint.project import lint_project
+
     files = iter_python_files(paths)
     if not files:
         raise LintUsageError("no Python files to lint under the given paths")
     findings: list[Finding] = []
+    sources: list[tuple[str, str]] = []
     for file_path in files:
-        findings.extend(
-            lint_file(file_path, rules=rules, report_unused_noqa=report_unused_noqa)
+        source = _read_source(file_path)
+        if isinstance(source, Finding):
+            findings.append(source)
+        else:
+            sources.append((str(file_path), source))
+    findings.extend(
+        lint_project(
+            sources,
+            rules=rules,
+            report_unused_noqa=report_unused_noqa,
+            store=store,  # type: ignore[arg-type]
         )
+    )
     return sorted(findings)

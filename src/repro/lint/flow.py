@@ -44,10 +44,17 @@ from __future__ import annotations
 import ast
 import enum
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Callable, Iterable, Optional
+
+#: Optional hook the interprocedural layer installs: given the enclosing
+#: scope node and a call expression, return the abstract value the call
+#: produces (usually a symbolic ``call_ref`` value), or None to fall back
+#: to the builtin heuristics below.
+CallResolver = Callable[[ast.AST, ast.Call], Optional["AbstractValue"]]
 
 __all__ = [
     "AbstractValue",
+    "CallResolver",
     "FlowInfo",
     "Orderedness",
     "UNIT_DIMENSIONS",
@@ -121,6 +128,10 @@ class AbstractValue:
     origin: str | None = None
     #: Line the origin appeared on, for "bound at line N" messages.
     origin_line: int | None = None
+    #: Symbolic call target (``"local:<qualname>"`` / ``"import:<dotted>"``)
+    #: when the value is the unresolved result of a project-function call;
+    #: the interprocedural layer resolves these against live summaries.
+    call_ref: str | None = None
 
     @property
     def is_unordered(self) -> bool:
@@ -136,7 +147,8 @@ class AbstractValue:
             origin, line = other.origin, other.origin_line
         else:
             origin, line = None, None
-        return AbstractValue(unit, ordered, origin, line)
+        call_ref = self.call_ref if self.call_ref == other.call_ref else None
+        return AbstractValue(unit, ordered, origin, line, call_ref)
 
     def describe(self) -> str:
         """Short suffix for findings: ``" (set(...) bound at line 3)"``."""
@@ -194,12 +206,20 @@ class FlowInfo:
         return tuple(self._returns.get(func, ()))
 
 
-def analyze_flow(tree: ast.AST) -> FlowInfo:
-    """Pass 1: flow-analyze every scope of ``tree``; returns the facts."""
+def analyze_flow(
+    tree: ast.AST, call_resolver: CallResolver | None = None
+) -> FlowInfo:
+    """Pass 1: flow-analyze every scope of ``tree``; returns the facts.
+
+    ``call_resolver`` lets the interprocedural layer claim call
+    expressions before the builtin heuristics see them — project
+    functions resolve to (symbolic) summary values, builtins fall
+    through untouched.
+    """
     info = FlowInfo()
     queue: list[ast.AST] = [tree]
     while queue:
-        _ScopeAnalyzer(info, queue.pop(), queue).run()
+        _ScopeAnalyzer(info, queue.pop(), queue, call_resolver).run()
     return info
 
 
@@ -284,10 +304,17 @@ def _combine(op: ast.operator, left: AbstractValue, right: AbstractValue) -> Abs
 class _ScopeAnalyzer:
     """Statement-ordered walk of one scope, maintaining the symbol table."""
 
-    def __init__(self, info: FlowInfo, scope: ast.AST, queue: list[ast.AST]) -> None:
+    def __init__(
+        self,
+        info: FlowInfo,
+        scope: ast.AST,
+        queue: list[ast.AST],
+        call_resolver: CallResolver | None = None,
+    ) -> None:
         self.info = info
         self.scope = scope
         self.queue = queue
+        self.call_resolver = call_resolver
         self.env: _Env = {}
 
     def run(self) -> None:
@@ -531,7 +558,11 @@ class _ScopeAnalyzer:
             return AbstractValue(unit=suffix) if suffix else UNKNOWN_VALUE
         # A unit suffix on the name itself is a declaration and wins.
         return AbstractValue(
-            suffix or bound.unit, bound.ordered, bound.origin, bound.origin_line
+            suffix or bound.unit,
+            bound.ordered,
+            bound.origin,
+            bound.origin_line,
+            bound.call_ref,
         )
 
     def _eval_Attribute(self, expr: ast.Attribute) -> AbstractValue:
@@ -723,6 +754,10 @@ class _ScopeAnalyzer:
         first = arg_values[0] if arg_values else None
         line = expr.lineno
 
+        if self.call_resolver is not None:
+            resolved = self.call_resolver(self.scope, expr)
+            if resolved is not None:
+                return resolved
         if fname in ("set", "frozenset"):
             return AbstractValue(
                 ordered=Orderedness.UNORDERED,

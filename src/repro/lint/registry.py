@@ -14,10 +14,14 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
-from repro.lint.findings import Finding
+from repro.lint.findings import Finding, TextEdit
 from repro.lint.flow import UNKNOWN_VALUE, AbstractValue, FlowInfo
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.lint.callgraph import FileSyntax
+    from repro.lint.project import ProjectContext
 
 #: A rule body: yields findings for one dispatched node.
 CheckFn = Callable[[ast.AST, "FileContext"], Iterator[Finding]]
@@ -37,12 +41,25 @@ class FileContext:
     parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
     #: Flow facts from the driver's pass 1 (:mod:`repro.lint.flow`).
     flow: FlowInfo | None = None
+    #: This file's call-graph syntax (v3; live-parsed instance).
+    syntax: "FileSyntax | None" = None
+    #: Whole-project summaries/effects (v3; None in per-file-only runs).
+    project: "ProjectContext | None" = None
+    #: Lazy char-offset table for building :class:`TextEdit` fixes.
+    _line_starts: list[int] | None = field(default=None, repr=False)
 
-    def finding(self, node: ast.AST, rule_id: str, message: str) -> Finding:
+    def finding(
+        self,
+        node: ast.AST,
+        rule_id: str,
+        message: str,
+        *,
+        fix: TextEdit | None = None,
+    ) -> Finding:
         """A finding anchored at ``node``'s position in this file."""
         line = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0) + 1
-        return Finding(self.path, line, col, rule_id, message)
+        return Finding(self.path, line, col, rule_id, message, fix=fix)
 
     def parent(self, node: ast.AST) -> ast.AST | None:
         """The AST parent of ``node`` (None at module level)."""
@@ -63,6 +80,81 @@ class FileContext:
     def is_exempt(self, fragments: Iterable[str]) -> bool:
         """Whether this file matches any exemption path fragment."""
         return any(fragment in self.module_path for fragment in fragments)
+
+    # -- v3: interprocedural context ---------------------------------------
+
+    def scope_qualname(self, node: ast.AST) -> str | None:
+        """Qualname of the function scope enclosing ``node`` (None = module).
+
+        Climbs the parent map to the nearest enclosing function def known
+        to the file's call-graph syntax.
+        """
+        if self.syntax is None:
+            return None
+        current: ast.AST | None = node
+        while current is not None:
+            qualname = self.syntax.node_qualnames.get(current)
+            if qualname is not None and current is not node:
+                return qualname
+            current = self.parents.get(current)
+        return None
+
+    def resolve_call(self, call: ast.Call) -> tuple[str, str] | None:
+        """(function id, display label) a call dispatches to, if resolvable."""
+        if self.syntax is None or self.project is None:
+            return None
+        scope = self.scope_qualname(call)
+        resolved = self.syntax.resolve_call_expr(call.func, scope)
+        if resolved is None:
+            return None
+        target, label = resolved
+        fid = self.project.resolve_symbolic(self.syntax, target)
+        if fid is None:
+            return None
+        return fid, label
+
+    def resolve_callable(self, expr: ast.expr, scope: str | None) -> str | None:
+        """Project function id a callable *reference* names, if resolvable.
+
+        Unlike :meth:`resolve_call` this takes the expression of a
+        function passed by value (``backend.run_chunks(fn, ...)``).
+        """
+        if self.syntax is None or self.project is None:
+            return None
+        target: str | None = None
+        if isinstance(expr, ast.Name):
+            target = self.syntax.resolve_name(expr.id, scope)
+        elif isinstance(expr, ast.Attribute):
+            resolved = self.syntax.resolve_call_expr(expr, scope)
+            target = resolved[0] if resolved is not None else None
+        if target is None:
+            return None
+        return self.project.resolve_symbolic(self.syntax, target)
+
+    # -- v3: source offsets for autofix edits ------------------------------
+
+    def offset_of(self, line: int, col: int) -> int:
+        """Char offset of a (1-based line, 0-based col) source position."""
+        if self._line_starts is None:
+            starts = [0]
+            for text_line in self.source.splitlines(keepends=True):
+                starts.append(starts[-1] + len(text_line))
+            self._line_starts = starts
+        starts = self._line_starts
+        assert starts is not None
+        index = min(max(line - 1, 0), len(starts) - 1)
+        return starts[index] + col
+
+    def span_of(self, node: ast.AST) -> tuple[int, int] | None:
+        """(start, end) char offsets of ``node``, if position info exists."""
+        lineno = getattr(node, "lineno", None)
+        end_lineno = getattr(node, "end_lineno", None)
+        end_col = getattr(node, "end_col_offset", None)
+        if lineno is None or end_lineno is None or end_col is None:
+            return None
+        start = self.offset_of(lineno, getattr(node, "col_offset", 0))
+        end = self.offset_of(end_lineno, end_col)
+        return start, end
 
 
 @dataclass(frozen=True)

@@ -1,4 +1,4 @@
-"""The reprolint domain rules (R001-R011).
+"""The reprolint domain rules (R001-R014).
 
 Each rule guards one invariant the planner's correctness rests on — the
 properties the parity, golden-count, and serialization-determinism tests
@@ -17,6 +17,9 @@ R008   no non-atomic file writes inside ``repro.store``
 R009   no unordered value reaching a serialization/store-key sink
 R010   function return unit matches its ``_km``/``_db`` name suffix
 R011   obs spans entered via the facade; counter keys deterministic
+R012   pool-submitted callables are picklable (no lambdas/nested defs)
+R013   pool-submitted callables are deterministic (``@worker_safe`` held)
+R014   pool chunk functions perform no hidden I/O or unordered iteration
 =====  ==========================================================
 
 Since v2 the rules are *flow-sensitive*: the driver's pass 1
@@ -24,11 +27,20 @@ Since v2 the rules are *flow-sensitive*: the driver's pass 1
 assignments, branches, comprehensions, and returns, so
 ``s = set(...); for x in s`` is just as visible to R004 as the literal
 form, and R007 catches ``x = span_km; y = x + loss_db`` through the
-alias. The analysis stays intra-procedural — values crossing function
-boundaries reset to unknown — which keeps it one walk per file and makes
-every finding explainable by code within the flagged function. Findings
-that are intentional carry a ``# repro: noqa-RXXX`` suppression, which
-matches anywhere in the flagged statement's line span.
+alias.
+
+Since v3 they are also *interprocedural*: the project pipeline
+(:mod:`repro.lint.project`) resolves calls across the whole lint set and
+closes determinism effects transitively over the call graph
+(:mod:`repro.lint.summaries`), so R001/R002/R004/R005 fire at a call
+site whose callee reaches the violation three calls deep — the finding
+quotes the full chain ("via ``helper()`` at line N → ...") back to the
+root cause. R007/R010 see unit tags through resolved return summaries,
+and R012-R014 check every callable submitted to the execution backends.
+Findings that are intentional carry a ``# repro: noqa-RXXX``
+suppression, which matches anywhere in the flagged statement's line
+span; a suppressed (blessed) origin also stops its effect from
+propagating to callers.
 """
 
 from __future__ import annotations
@@ -36,7 +48,8 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from repro.lint.findings import Finding
+from repro.lint.callgraph import function_id
+from repro.lint.findings import Finding, TextEdit
 from repro.lint.flow import (
     AbstractValue,
     Orderedness,
@@ -44,6 +57,15 @@ from repro.lint.flow import (
     unit_suffix,
 )
 from repro.lint.registry import FileContext, rule
+from repro.lint.summaries import (
+    DATETIME_WALL,
+    EFFECT_LABELS,
+    NP_RANDOM_OK,
+    RANDOM_OK,
+    TIME_WALL,
+    FunctionSummary,
+    chain_text,
+)
 
 
 def _dotted_root(node: ast.expr) -> str | None:
@@ -55,24 +77,85 @@ def _dotted_root(node: ast.expr) -> str | None:
     return None
 
 
+# --- v3 interprocedural helpers ------------------------------------------------
+
+#: Rule id -> the propagated effect whose presence it reports at call sites.
+_RULE_EFFECTS = {
+    "R001": "global_rng",
+    "R002": "wall_clock",
+    "R004": "unordered_iter",
+    "R005": "module_state",
+}
+
+
+def _call_effect_findings(
+    node: ast.Call, ctx: FileContext, rule_id: str
+) -> Iterator[Finding]:
+    """Call-site finding when the callee transitively has the rule's effect.
+
+    This is how R001/R002/R004/R005 fire at the entry point even when the
+    violation is three calls deep: the effect closure carries the origin
+    and the chain of calls it travelled, which the message quotes.
+    """
+    if ctx.project is None:
+        return
+    resolved = ctx.resolve_call(node)
+    if resolved is None:
+        return
+    fid, label = resolved
+    origin = ctx.project.effects_of(fid).get(_RULE_EFFECTS[rule_id])
+    if origin is None:
+        return
+    yield ctx.finding(
+        node,
+        rule_id,
+        f"call to `{label}()` reaches code that "
+        f"{EFFECT_LABELS[origin.effect]} ({chain_text(origin)}); fix or "
+        "bless the origin — every caller inherits the nondeterminism",
+    )
+
+
+#: Origin markers that prove a flow value really is a set (not merely a
+#: container tainted by one), making a ``sorted(...)`` wrap meaning-safe.
+_SET_ORIGIN_MARKERS = (
+    "set literal",
+    "set comprehension",
+    "set(...)",
+    "frozenset(...)",
+    "set iteration",
+    "parameter annotated",
+)
+
+
+def _sorted_wrap_fix(
+    expr: ast.expr, value: AbstractValue, ctx: FileContext
+) -> TextEdit | None:
+    """A ``sorted(...)`` wrap for ``expr``, when provably meaning-safe.
+
+    Conservative on purpose: only offered when the expression is a set by
+    shape or by flow origin. A container merely *tainted* by a set (a
+    dict holding sets, say) stays fix-less — wrapping it in ``sorted``
+    would change what the program iterates, not just the order.
+    """
+    safe = _syntactically_unordered(expr) or any(
+        marker in (value.origin or "") for marker in _SET_ORIGIN_MARKERS
+    )
+    if not safe:
+        return None
+    span = ctx.span_of(expr)
+    if span is None:
+        return None
+    start, end = span
+    return TextEdit(start, end, f"sorted({ctx.source[start:end]})")
+
+
 # --- R001: global RNG state ---------------------------------------------------
 
-#: ``random`` module attributes that do NOT touch the shared module RNG.
-_RANDOM_OK = {"Random"}
-
-#: ``numpy.random`` attributes that construct seeded, instance-local state.
-_NP_RANDOM_OK = {
-    "default_rng",
-    "Generator",
-    "RandomState",
-    "SeedSequence",
-    "BitGenerator",
-    "PCG64",
-    "PCG64DXSM",
-    "MT19937",
-    "Philox",
-    "SFC64",
-}
+# The attribute whitelists are shared with the summary extractor so the
+# intra-procedural rules and the interprocedural effect pass can never
+# disagree about what counts as global RNG state or a wall-clock read.
+_RANDOM_OK = RANDOM_OK
+_NP_RANDOM_OK = NP_RANDOM_OK
 
 
 @rule(
@@ -82,9 +165,12 @@ _NP_RANDOM_OK = {
         "scenario enumeration and synthetic regions must replay bit-identically "
         "from an explicit seed; the shared module RNG is mutated by anyone"
     ),
-    nodes=(ast.Attribute, ast.ImportFrom),
+    nodes=(ast.Attribute, ast.ImportFrom, ast.Call),
 )
 def no_global_rng(node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+    if isinstance(node, ast.Call):
+        yield from _call_effect_findings(node, ctx, "R001")
+        return
     if isinstance(node, ast.ImportFrom):
         if node.module == "random":
             for alias in node.names:
@@ -135,11 +221,8 @@ def no_global_rng(node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
 
 # --- R002: wall-clock reads ---------------------------------------------------
 
-#: ``time`` module functions that read the wall clock.
-_TIME_WALL = {"time", "time_ns", "ctime", "localtime", "gmtime", "asctime"}
-
-#: ``datetime``/``date`` constructors that read the wall clock.
-_DATETIME_WALL = {"now", "utcnow", "today"}
+_TIME_WALL = TIME_WALL
+_DATETIME_WALL = DATETIME_WALL
 
 
 @rule(
@@ -150,10 +233,13 @@ _DATETIME_WALL = {"now", "utcnow", "today"}
         "from the monotonic clock owned by repro.obs; wall-clock reads leak "
         "the run environment into outputs and go backwards under NTP steps"
     ),
-    nodes=(ast.Attribute, ast.ImportFrom),
+    nodes=(ast.Attribute, ast.ImportFrom, ast.Call),
     exempt=("repro/obs/",),
 )
 def no_wall_clock(node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+    if isinstance(node, ast.Call):
+        yield from _call_effect_findings(node, ctx, "R002")
+        return
     if isinstance(node, ast.ImportFrom):
         if node.module == "time":
             for alias in node.names:
@@ -330,7 +416,63 @@ _R004_MSG = (
 def _r004_finding(
     node: ast.AST, value: AbstractValue, ctx: FileContext
 ) -> Finding:
-    return ctx.finding(node, "R004", _R004_MSG + value.describe())
+    fix = _sorted_wrap_fix(node, value, ctx) if isinstance(node, ast.expr) else None
+    return ctx.finding(node, "R004", _R004_MSG + value.describe(), fix=fix)
+
+
+def _r004_argument_findings(
+    node: ast.Call, ctx: FileContext
+) -> Iterator[Finding]:
+    """Unordered values passed into parameters the callee iterates.
+
+    The callee's summary records which of its parameters it iterates
+    order-sensitively while their orderedness is still the caller's to
+    decide; handing such a parameter a set is the same bug as iterating
+    the set here, just one call later.
+    """
+    if ctx.project is None:
+        return
+    resolved = ctx.resolve_call(node)
+    if resolved is None:
+        return
+    fid, label = resolved
+    summary = ctx.project.summary_of(fid)
+    info = ctx.project.function(fid)
+    if summary is None or info is None or not summary.iterated_params:
+        return
+    params = list(info.params)
+    bound_method = (
+        info.class_name is not None
+        and isinstance(node.func, ast.Attribute)
+        and bool(params)
+        and params[0] in ("self", "cls")
+    )
+    offset = 1 if bound_method else 0
+    pairs: list[tuple[str, ast.expr]] = []
+    for position, arg in enumerate(node.args):
+        if isinstance(arg, ast.Starred):
+            break
+        index = position + offset
+        if index >= len(params):
+            break
+        pairs.append((params[index], arg))
+    for keyword in node.keywords:
+        if keyword.arg is not None:
+            pairs.append((keyword.arg, keyword.value))
+    for name, arg in pairs:
+        if name not in summary.iterated_params:
+            continue
+        value = _unordered_value(arg, ctx)
+        if value is None:
+            continue
+        yield ctx.finding(
+            arg,
+            "R004",
+            f"unordered value passed as {name!r} to `{label}()`, which "
+            f"iterates it order-sensitively{value.describe()}; sort it "
+            "before the call",
+            fix=_sorted_wrap_fix(arg, value, ctx),
+        )
 
 
 @rule(
@@ -366,6 +508,8 @@ def no_unordered_iteration(node: ast.AST, ctx: FileContext) -> Iterator[Finding]
         yield _r004_finding(node.iter, value, ctx)
         return
     assert isinstance(node, ast.Call)
+    yield from _call_effect_findings(node, ctx, "R004")
+    yield from _r004_argument_findings(node, ctx)
     func = node.func
     arg = node.args[0] if node.args else None
     if arg is None:
@@ -395,10 +539,13 @@ _R005_WHITELIST = ("repro/core/hose.py", "repro/obs/tracer.py")
         "PID-pinned hose cache is the only blessed module-level cache and "
         "the obs tracer facade the only blessed process-local singleton"
     ),
-    nodes=(ast.Global,),
+    nodes=(ast.Global, ast.Call),
     exempt=_R005_WHITELIST,
 )
 def no_module_state(node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+    if isinstance(node, ast.Call):
+        yield from _call_effect_findings(node, ctx, "R005")
+        return
     assert isinstance(node, ast.Global)
     for name in node.names:
         yield ctx.finding(
@@ -436,12 +583,23 @@ def keyword_only_config(node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
     args = node.args
     positional = [*args.posonlyargs, *args.args]
     defaulted = positional[len(positional) - len(args.defaults) :]
-    for param in defaulted:
+    # The autofix inserts "*, " before the first defaulted parameter. Only
+    # safe when no *args / positional-only / existing keyword-only params
+    # complicate the signature — anything fancier needs a human.
+    fixable = (
+        args.vararg is None and not args.posonlyargs and not args.kwonlyargs
+    )
+    for index, param in enumerate(defaulted):
+        fix = None
+        if fixable and index == 0:
+            anchor = ctx.offset_of(param.lineno, param.col_offset)
+            fix = TextEdit(anchor, anchor, "*, ")
         yield ctx.finding(
             param,
             "R006",
             f"config parameter {param.arg!r} of public entry point {name}() "
             "must be keyword-only (move it after '*')",
+            fix=fix,
         )
 
 
@@ -463,6 +621,19 @@ def _operand_unit(expr: ast.expr, ctx: FileContext) -> str | None:
         if suffix is not None:
             return suffix
     return ctx.value_of(expr).unit
+
+
+def _unit_origin_note(expr: ast.expr, expr_unit: str, ctx: FileContext) -> str | None:
+    """Where an operand's unit tag came from, when it crossed a call.
+
+    ``dist_km() + loss_db`` flags like any other mix, but the resolved
+    return summary knows the km came out of ``dist_km()`` — quoting that
+    saves the reader a hop when the operand is an alias or a call chain.
+    """
+    value = ctx.value_of(expr)
+    if value.unit == expr_unit and value.origin and value.origin.startswith("via "):
+        return f"'_{expr_unit}' {value.origin}"
+    return None
 
 
 def _mixing_message(left_unit: str, right_unit: str) -> str:
@@ -509,7 +680,15 @@ def no_unit_mixing(node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
             continue
         if link_budget_ok and {left_unit, right_unit} == _LINK_BUDGET_PAIR:
             continue
-        yield ctx.finding(node, "R007", _mixing_message(left_unit, right_unit))
+        message = _mixing_message(left_unit, right_unit)
+        notes = [
+            note
+            for operand, operand_unit in ((left, left_unit), (right, right_unit))
+            if (note := _unit_origin_note(operand, operand_unit, ctx)) is not None
+        ]
+        if notes:
+            message += " (" + "; ".join(notes) + ")"
+        yield ctx.finding(node, "R007", message)
 
 
 # --- R008: atomic writes in repro.store ---------------------------------------
@@ -639,6 +818,7 @@ def no_unordered_serialization(node: ast.AST, ctx: FileContext) -> Iterator[Find
                 f"unordered value reaches serialization sink {fname}()"
                 f"{value.describe()}; its iteration order would leak into "
                 "canonical bytes — sort it into a list first",
+                fix=_sorted_wrap_fix(arg, value, ctx),
             )
 
 
@@ -734,3 +914,225 @@ def obs_span_discipline(node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
                 " keys must be deterministic or shard merges diverge run to "
                 "run",
             )
+
+
+# --- R012-R014: pool-submitted callable safety ----------------------------------
+
+#: Backend method names that submit their first argument to a worker pool.
+_SUBMIT_METHODS = {"run_chunks": 0, "iter_chunks": 0, "submit": 0}
+
+#: Free functions that submit one of their arguments to a worker pool.
+_SUBMIT_FUNCS = {"map_in_chunks": 1}
+
+#: The engine owns the pool: it forwards already-checked callables into
+#: ``pool.submit`` and wraps them for tracing, which is not a submission
+#: decision of its own.
+_POOL_EXEMPT = ("repro/core/engine.py",)
+
+#: Effects that make pool work nondeterministic per chunk (R013).
+_POOL_DETERMINISM = ("global_rng", "wall_clock", "module_state")
+
+#: Effects that make a chunk function impure (R014).
+_POOL_PURITY = ("io", "unordered_iter")
+
+
+def _unwrap_partial(expr: ast.expr) -> ast.expr:
+    """The callable inside ``functools.partial(fn, ...)``, else ``expr``."""
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else None
+        )
+        if name == "partial" and expr.args:
+            return _unwrap_partial(expr.args[0])
+    return expr
+
+
+def _submitted_callable(node: ast.Call) -> tuple[ast.expr, str] | None:
+    """(callable expr, submit-site label) when this call feeds a pool.
+
+    Matches the repo's submission shapes — ``backend.run_chunks(fn, ...)``,
+    ``backend.iter_chunks(fn, ...)``, ``pool.submit(fn, ...)``, and
+    ``map_in_chunks(backend, fn, ...)`` — and unwraps ``functools.partial``
+    so a partially-applied chunk function is still checked.
+    """
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in _SUBMIT_METHODS:
+        index = _SUBMIT_METHODS[func.attr]
+        label = f".{func.attr}()"
+    elif isinstance(func, ast.Name) and func.id in _SUBMIT_FUNCS:
+        index = _SUBMIT_FUNCS[func.id]
+        label = f"{func.id}()"
+    else:
+        return None
+    if index >= len(node.args) or any(
+        isinstance(arg, ast.Starred) for arg in node.args[: index + 1]
+    ):
+        return None
+    return _unwrap_partial(node.args[index]), label
+
+
+def _submitted_summary(
+    expr: ast.expr, ctx: FileContext
+) -> tuple[str, FunctionSummary] | None:
+    """(fid, summary) of a project function passed by reference, if any."""
+    if ctx.project is None or ctx.syntax is None:
+        return None
+    fid = ctx.resolve_callable(expr, ctx.scope_qualname(expr))
+    if fid is None:
+        return None
+    summary = ctx.project.summary_of(fid)
+    if summary is None:
+        return None
+    return fid, summary
+
+
+def _worker_safe_findings(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    ctx: FileContext,
+    effect_names: tuple[str, ...],
+    rule_id: str,
+) -> Iterator[Finding]:
+    """``@worker_safe`` declarations are verified, not trusted.
+
+    The decorator is the author's claim that a function may run in pool
+    workers; the transitive effect closure is the proof obligation.
+    """
+    if ctx.project is None or ctx.syntax is None:
+        return
+    qualname = ctx.syntax.node_qualnames.get(node)
+    if qualname is None:
+        return
+    fid = function_id(ctx.syntax.path, qualname)
+    summary = ctx.project.summary_of(fid)
+    if summary is None or not summary.worker_safe:
+        return
+    for effect in effect_names:
+        origin = ctx.project.effects_of(fid).get(effect)
+        if origin is None:
+            continue
+        yield ctx.finding(
+            node,
+            rule_id,
+            f"`{node.name}()` is declared @worker_safe but "
+            f"{EFFECT_LABELS[effect]} ({chain_text(origin)}); fix the "
+            "effect or drop the decorator",
+        )
+
+
+@rule(
+    "R012",
+    title="pool submissions picklable",
+    invariant=(
+        "the process-pool backends pickle the submitted callable into "
+        "spawned workers; a lambda or nested function fails at pickle "
+        "time — inside the pool, far from the call site — so it is "
+        "rejected at review time instead"
+    ),
+    nodes=(ast.Call,),
+    exempt=_POOL_EXEMPT,
+)
+def pool_picklable(node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+    assert isinstance(node, ast.Call)
+    submitted = _submitted_callable(node)
+    if submitted is None:
+        return
+    expr, label = submitted
+    if isinstance(expr, ast.Lambda):
+        yield ctx.finding(
+            expr,
+            "R012",
+            f"lambda submitted to {label} cannot be pickled into spawned "
+            "pool workers; define a module-level function",
+        )
+        return
+    resolved = _submitted_summary(expr, ctx)
+    if resolved is not None and resolved[1].is_nested:
+        yield ctx.finding(
+            expr,
+            "R012",
+            f"nested function `{resolved[1].name}()` submitted to {label} "
+            "cannot be pickled into spawned pool workers; move it to "
+            "module level",
+        )
+
+
+@rule(
+    "R013",
+    title="pool submissions deterministic",
+    invariant=(
+        "chunked execution must produce the same plan at every worker "
+        "count; a submitted callable that reaches global RNG state, the "
+        "wall clock, or module state makes chunk results depend on which "
+        "worker ran them and in what order"
+    ),
+    nodes=(ast.Call, ast.FunctionDef, ast.AsyncFunctionDef),
+    exempt=_POOL_EXEMPT,
+)
+def pool_deterministic(node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        yield from _worker_safe_findings(node, ctx, _POOL_DETERMINISM, "R013")
+        return
+    assert isinstance(node, ast.Call)
+    submitted = _submitted_callable(node)
+    if submitted is None or ctx.project is None:
+        return
+    expr, label = submitted
+    resolved = _submitted_summary(expr, ctx)
+    if resolved is None:
+        return
+    fid, summary = resolved
+    for effect in _POOL_DETERMINISM:
+        origin = ctx.project.effects_of(fid).get(effect)
+        if origin is None:
+            continue
+        yield ctx.finding(
+            expr,
+            "R013",
+            f"`{summary.name}()` submitted to {label} "
+            f"{EFFECT_LABELS[effect]} ({chain_text(origin)}); pool work "
+            "must be deterministic per chunk",
+        )
+
+
+@rule(
+    "R014",
+    title="pool chunk functions pure",
+    invariant=(
+        "chunk functions run concurrently in spawned workers; hidden "
+        "filesystem I/O races between workers, and unordered iteration "
+        "inside a chunk ties the merged plan to each worker's hash "
+        "seeding"
+    ),
+    nodes=(ast.Call, ast.FunctionDef, ast.AsyncFunctionDef),
+    exempt=_POOL_EXEMPT,
+)
+def pool_pure(node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        yield from _worker_safe_findings(node, ctx, _POOL_PURITY, "R014")
+        return
+    assert isinstance(node, ast.Call)
+    submitted = _submitted_callable(node)
+    if submitted is None or ctx.project is None:
+        return
+    expr, label = submitted
+    resolved = _submitted_summary(expr, ctx)
+    if resolved is None:
+        return
+    fid, summary = resolved
+    for effect in _POOL_PURITY:
+        origin = ctx.project.effects_of(fid).get(effect)
+        if origin is None:
+            continue
+        yield ctx.finding(
+            expr,
+            "R014",
+            f"`{summary.name}()` submitted to {label} "
+            f"{EFFECT_LABELS[effect]} ({chain_text(origin)}); chunk "
+            "functions must not touch the filesystem or iterate "
+            "unordered data",
+        )

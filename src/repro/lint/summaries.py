@@ -1,0 +1,615 @@
+"""repro.lint.summaries — per-function effect & unit summaries for v3.
+
+The interprocedural half of reprolint: every function in the lint set
+gets a :class:`FunctionSummary` describing what crossing its call
+boundary can do to the planner's invariants —
+
+**determinism effects**
+    ``global_rng`` (mutates the shared module RNG — R001's invariant),
+    ``wall_clock`` (reads environment time — R002), ``module_state``
+    (rebinds module globals — R005), ``unordered_iter`` (iterates an
+    unordered collection order-sensitively — R004), and ``io`` (touches
+    the filesystem — no intra-procedural rule, but pool-submitted
+    callables must be pure: R014). Effects are extracted *directly* per
+    function (pass 1) and then propagated transitively bottom-up over
+    the call graph (:func:`propagate_effects`), each carrying an origin
+    ("``random.seed`` at ``path:line``") and the call chain it travelled
+    ("via ``helper()`` at line N") so a finding three calls up still
+    quotes the root cause.
+
+**unit / orderedness signatures**
+    What a call returns, through the same lattice the flow pass uses:
+    a unit tag (``dist_km()`` → ``km``), an orderedness, and — the key
+    trick — a *symbolic* reference when a function returns another
+    function's result (``def a(): return b()`` records ``call →
+    local:b``). Symbolic returns are resolved against the live project
+    on every run (:func:`resolve_returns`), so per-function summaries
+    stay pure functions of their own source text (what makes them
+    cacheable by source digest) while call-depth-N unit and set-ness
+    still flow to the caller.
+
+**blessed effects** do not propagate: an effect whose origin statement
+carries the matching ``# repro: noqa-RXXX`` or sits in a path the rule
+exempts (``repro/obs/`` owns the wall clock, the PID-pinned hose cache
+owns its globals) is vouched for by its owner and is not a violation to
+surface at call sites.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.lint.callgraph import FileSyntax, LocalFunction, decorator_names
+from repro.lint.flow import FlowInfo, Orderedness, unit_suffix
+
+__all__ = [
+    "EFFECT_RULES",
+    "EffectOrigin",
+    "FunctionSummary",
+    "chain_text",
+    "extract_summaries",
+    "propagate_effects",
+    "resolve_returns",
+    "summary_digest",
+]
+
+#: Effect name -> the rule whose invariant it violates (None: pool-only).
+EFFECT_RULES: dict[str, str | None] = {
+    "global_rng": "R001",
+    "wall_clock": "R002",
+    "module_state": "R005",
+    "unordered_iter": "R004",
+    "io": None,
+}
+
+#: Human phrasing per effect, used by call-site findings.
+EFFECT_LABELS: dict[str, str] = {
+    "global_rng": "mutates global RNG state",
+    "wall_clock": "reads the wall clock",
+    "module_state": "rebinds module-level state",
+    "unordered_iter": "iterates an unordered collection",
+    "io": "performs filesystem I/O",
+}
+
+#: ``random`` module attributes that do NOT touch the shared module RNG.
+RANDOM_OK = frozenset({"Random"})
+
+#: ``numpy.random`` attributes that construct seeded, instance-local state.
+NP_RANDOM_OK = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "RandomState",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "MT19937",
+        "Philox",
+        "SFC64",
+    }
+)
+
+#: ``time`` module functions that read the wall clock.
+TIME_WALL = frozenset({"time", "time_ns", "ctime", "localtime", "gmtime", "asctime"})
+
+#: ``datetime``/``date`` constructors that read the wall clock.
+DATETIME_WALL = frozenset({"now", "utcnow", "today"})
+
+#: ``os`` functions that touch the filesystem.
+_OS_IO = frozenset(
+    {"replace", "remove", "rename", "makedirs", "unlink", "rmdir", "mkdir"}
+)
+
+#: Path-object methods that read or write files in one call.
+_PATH_IO = frozenset({"write_text", "write_bytes", "read_text", "read_bytes"})
+
+
+@dataclass(frozen=True)
+class EffectOrigin:
+    """One effect with where it comes from and how it was reached."""
+
+    effect: str
+    origin: str
+    chain: tuple[tuple[str, int], ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "effect": self.effect,
+            "origin": self.origin,
+            "chain": [list(step) for step in self.chain],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EffectOrigin":
+        return cls(
+            effect=str(data["effect"]),
+            origin=str(data["origin"]),
+            chain=tuple(
+                (str(name), int(line)) for name, line in data.get("chain", [])
+            ),
+        )
+
+
+def chain_text(origin: EffectOrigin) -> str:
+    """The quoted chain of one effect: ``via `a()` at line 3 → ... → root``."""
+    steps = [f"via `{name}()` at line {line}" for name, line in origin.chain]
+    steps.append(origin.origin)
+    return " → ".join(steps)
+
+
+@dataclass
+class FunctionSummary:
+    """Everything callers may assume about one function, cacheable."""
+
+    qualname: str
+    name: str
+    lineno: int
+    is_nested: bool
+    worker_safe: bool
+    #: Unblessed *direct* effects; propagation adds transitive ones.
+    effects: dict[str, EffectOrigin] = field(default_factory=dict)
+    #: Parameters the body iterates order-sensitively while their
+    #: orderedness is still the caller's to decide.
+    iterated_params: tuple[str, ...] = ()
+    #: ``(symbolic target, display origin, line)`` for every loop that
+    #: iterates the result of a project call — whether that is an
+    #: unordered iteration depends on the callee's resolved return
+    #: summary, so the check is deferred to the project phase.
+    iterated_calls: tuple[tuple[str, str, int], ...] = ()
+    return_unit: str | None = None
+    return_ordered: str = "unknown"
+    return_origin: str | None = None
+    #: Symbolic ``local:<qualname>``/``import:<dotted>`` when the return
+    #: value is another function's result; resolved per run.
+    return_call: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "qualname": self.qualname,
+            "name": self.name,
+            "lineno": self.lineno,
+            "is_nested": self.is_nested,
+            "worker_safe": self.worker_safe,
+            "effects": {
+                eff: origin.to_dict() for eff, origin in sorted(self.effects.items())
+            },
+            "iterated_params": list(self.iterated_params),
+            "iterated_calls": [list(entry) for entry in self.iterated_calls],
+            "return_unit": self.return_unit,
+            "return_ordered": self.return_ordered,
+            "return_origin": self.return_origin,
+            "return_call": self.return_call,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FunctionSummary":
+        return cls(
+            qualname=str(data["qualname"]),
+            name=str(data["name"]),
+            lineno=int(data["lineno"]),
+            is_nested=bool(data["is_nested"]),
+            worker_safe=bool(data["worker_safe"]),
+            effects={
+                eff: EffectOrigin.from_dict(o)
+                for eff, o in data.get("effects", {}).items()
+            },
+            iterated_params=tuple(data.get("iterated_params", ())),
+            iterated_calls=tuple(
+                (str(t), str(o), int(line))
+                for t, o, line in data.get("iterated_calls", [])
+            ),
+            return_unit=data.get("return_unit"),
+            return_ordered=str(data.get("return_ordered", "unknown")),
+            return_origin=data.get("return_origin"),
+            return_call=data.get("return_call"),
+        )
+
+
+def summary_digest(summary: FunctionSummary) -> str:
+    """A stable digest of one summary (cache invalidation currency)."""
+    payload = json.dumps(
+        summary.to_dict(), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# -- direct-effect predicates (shared with the intra-procedural rules) --------
+
+
+def _dotted_root(node: ast.expr) -> str | None:
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def rng_attribute_violation(node: ast.Attribute) -> str | None:
+    """The global-RNG access an attribute performs (``"random.seed"``)."""
+    value = node.value
+    if (
+        isinstance(value, ast.Name)
+        and value.id == "random"
+        and node.attr not in RANDOM_OK
+    ):
+        return f"random.{node.attr}"
+    if (
+        isinstance(value, ast.Attribute)
+        and value.attr == "random"
+        and isinstance(value.value, ast.Name)
+        and value.value.id in ("np", "numpy")
+        and node.attr not in NP_RANDOM_OK
+    ):
+        return f"{value.value.id}.random.{node.attr}"
+    return None
+
+
+def wall_clock_violation(node: ast.Attribute) -> str | None:
+    """The wall-clock read an attribute performs (``"time.time"``)."""
+    if (
+        isinstance(node.value, ast.Name)
+        and node.value.id == "time"
+        and node.attr in TIME_WALL
+    ):
+        return f"time.{node.attr}"
+    if node.attr in DATETIME_WALL and _dotted_root(node) in ("datetime", "date"):
+        return f"{_dotted_root(node)}.{node.attr}"
+    return None
+
+
+def io_call_violation(node: ast.Call) -> str | None:
+    """The filesystem operation a call performs (``"open"``), if any."""
+    func = node.func
+    if isinstance(func, ast.Name) and func.id == "open":
+        return "open"
+    if isinstance(func, ast.Attribute):
+        root = _dotted_root(func)
+        if root == "os" and func.attr in _OS_IO:
+            return f"os.{func.attr}"
+        if root == "shutil":
+            return f"shutil.{func.attr}"
+        if func.attr in _PATH_IO:
+            return f".{func.attr}"
+    return None
+
+
+# -- extraction ---------------------------------------------------------------
+
+
+def _own_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """Descendants of ``node`` excluding nested function/lambda bodies."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield child
+        yield from _own_scope(child)
+
+
+def _is_remote(value: Any) -> bool:
+    """Whether an abstract value's taint came across a call boundary.
+
+    Resolver-derived origins start with ``"via "``; excluding them keeps
+    direct-effect extraction a pure function of the file's own source,
+    which the source-digest cache keying depends on.
+    """
+    origin = getattr(value, "origin", None)
+    return isinstance(origin, str) and origin.startswith("via ")
+
+
+def _unordered_origin(value: Any, path: str) -> str | None:
+    """Concrete origin text for a locally-unordered abstract value."""
+    if value is None or not getattr(value, "is_unordered", False):
+        return None
+    if _is_remote(value):
+        return None
+    origin = value.origin or "unordered collection"
+    if value.origin_line is not None:
+        return f"{origin} at {path}:{value.origin_line}"
+    return f"{origin} ({path})"
+
+
+def _syntactic_set(expr: ast.expr) -> bool:
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+        return expr.func.id in ("set", "frozenset")
+    return False
+
+
+def _iter_param(expr: ast.expr, params: frozenset[str]) -> str | None:
+    """The parameter an iteration target resolves to, unwrapping the
+    order-preserving conversions (``enumerate(items)`` iterates ``items``)."""
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id in ("enumerate", "list", "tuple", "iter", "reversed")
+        and len(expr.args) == 1
+    ):
+        expr = expr.args[0]
+    if isinstance(expr, ast.Name) and expr.id in params:
+        return expr.id
+    return None
+
+
+#: ``is_blessed(rule_id, line)`` — true when a noqa or path exemption
+#: covers the origin, so the effect must not propagate.
+Blessing = Callable[[str, int], bool]
+
+
+def _first_yield_taint(
+    node: ast.AST, flow: FlowInfo, path: str
+) -> tuple[bool, str | None]:
+    """(has_yields, unordered ``yield from`` origin or None)."""
+    has_yield = False
+    for child in _own_scope(node):
+        if isinstance(child, ast.YieldFrom):
+            has_yield = True
+            origin = _unordered_origin(flow.value_of(child.value), path)
+            if origin is not None:
+                return True, origin
+        elif isinstance(child, ast.Yield):
+            has_yield = True
+    return has_yield, None
+
+
+def _return_summary(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    flow: FlowInfo,
+    path: str,
+) -> tuple[str | None, str, str | None, str | None]:
+    """(unit, ordered, origin, symbolic call) of a function's return value."""
+    declared = unit_suffix(func.name)
+    has_yield, yield_origin = _first_yield_taint(func, flow, path)
+    if has_yield:
+        if yield_origin is not None:
+            return declared, "unordered", yield_origin, None
+        return declared, "unknown", None, None
+
+    returns = flow.returns_of(func)
+    if not returns:
+        return declared, "ordered", None, None
+
+    units: set[str | None] = set()
+    ordered = Orderedness.ORDERED
+    origin: str | None = None
+    calls: set[str | None] = set()
+    call_origin: str | None = None
+    for _stmt, value in returns:
+        units.add(value.unit)
+        ordered = ordered.join(value.ordered)
+        if value.is_unordered and origin is None:
+            origin = _unordered_origin(value, path) or value.origin
+        ref = getattr(value, "call_ref", None)
+        calls.add(ref)
+        if ref is not None and call_origin is None:
+            call_origin = value.origin
+    unit = units.pop() if len(units) == 1 else None
+    if declared is not None:
+        unit = declared
+    if ordered is Orderedness.UNORDERED:
+        return unit, "unordered", origin, None
+    only_call = calls.pop() if len(calls) == 1 else None
+    if only_call is not None:
+        return unit, "unknown", call_origin, only_call
+    return unit, ordered.value, None, None
+
+
+def extract_summaries(
+    tree: ast.AST,
+    syntax: FileSyntax,
+    flow: FlowInfo,
+    *,
+    path: str,
+    is_blessed: Blessing,
+) -> dict[str, FunctionSummary]:
+    """Pass-1 summaries for every function of one live-parsed file.
+
+    A pure function of the file's source (plus the blessing predicate,
+    itself derived from the file's own noqa comments and path): nothing
+    here depends on other files, which is what makes the result cacheable
+    under the file's content digest.
+    """
+    out: dict[str, FunctionSummary] = {}
+    for node, qualname in sorted(
+        syntax.node_qualnames.items(), key=lambda kv: kv[1]
+    ):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        info: LocalFunction = syntax.functions[qualname]
+        effects: dict[str, EffectOrigin] = {}
+
+        def found(effect: str, origin: str, line: int) -> None:
+            rule = EFFECT_RULES[effect]
+            if rule is not None and is_blessed(rule, line):
+                return
+            if effect not in effects:
+                effects[effect] = EffectOrigin(effect, f"{origin} at {path}:{line}")
+
+        params = frozenset(info.params)
+        iterated: list[str] = []
+        iterated_calls: list[tuple[str, str, int]] = []
+        for child in _own_scope(node):
+            if isinstance(child, ast.Attribute):
+                rng = rng_attribute_violation(child)
+                if rng is not None:
+                    found("global_rng", rng, child.lineno)
+                clock = wall_clock_violation(child)
+                if clock is not None:
+                    found("wall_clock", clock, child.lineno)
+            elif isinstance(child, ast.Global):
+                found(
+                    "module_state",
+                    f"global {', '.join(child.names)}",
+                    child.lineno,
+                )
+            elif isinstance(child, ast.Call):
+                io = io_call_violation(child)
+                if io is not None:
+                    found("io", io, child.lineno)
+            elif isinstance(child, (ast.For, ast.AsyncFor)):
+                value = flow.value_of(child.iter)
+                origin = _unordered_origin(value, path)
+                if origin is None and _syntactic_set(child.iter):
+                    origin = f"set iteration at {path}:{child.iter.lineno}"
+                if origin is not None:
+                    rule = EFFECT_RULES["unordered_iter"]
+                    if rule is None or not is_blessed(rule, child.lineno):
+                        effects.setdefault(
+                            "unordered_iter",
+                            EffectOrigin("unordered_iter", origin),
+                        )
+                param = _iter_param(child.iter, params)
+                if (
+                    param is not None
+                    and flow.value_of(child.iter).ordered is Orderedness.UNKNOWN
+                    and param not in iterated
+                ):
+                    iterated.append(param)
+                ref = getattr(flow.value_of(child.iter), "call_ref", None)
+                if ref is not None:
+                    rule = EFFECT_RULES["unordered_iter"]
+                    if rule is None or not is_blessed(rule, child.lineno):
+                        iterated_calls.append(
+                            (
+                                ref,
+                                flow.value_of(child.iter).origin or "",
+                                child.lineno,
+                            )
+                        )
+
+        unit, ordered, r_origin, r_call = _return_summary(node, flow, path)
+        out[qualname] = FunctionSummary(
+            qualname=qualname,
+            name=info.name,
+            lineno=info.lineno,
+            is_nested=info.is_nested,
+            worker_safe=any(
+                d.split(".")[-1] == "worker_safe" for d in decorator_names(node)
+            ),
+            effects=effects,
+            iterated_params=tuple(iterated),
+            iterated_calls=tuple(iterated_calls),
+            return_unit=unit,
+            return_ordered=ordered,
+            return_origin=r_origin,
+            return_call=r_call,
+        )
+    return out
+
+
+# -- propagation --------------------------------------------------------------
+
+
+def propagate_effects(
+    summaries: Mapping[str, FunctionSummary],
+    edges: Mapping[str, list[tuple[str, str, int]]],
+    *,
+    seed_effects: Mapping[str, Mapping[str, EffectOrigin]] | None = None,
+) -> dict[str, dict[str, EffectOrigin]]:
+    """Transitive effect closure over the resolved call graph.
+
+    ``edges[fid]`` lists ``(callee_fid, display_label, call_line)``.
+    Components of the call graph are processed bottom-up (callees before
+    callers, via :func:`repro.lint.callgraph.tarjan_scc`); within one
+    strongly connected component — mutual recursion — a local fixpoint
+    runs, which converges because an effect is only ever *added*. All
+    iteration is in sorted order so the chain recorded for each
+    ``(function, effect)`` pair — the first one discovered — is
+    deterministic.
+    """
+    from repro.lint.callgraph import tarjan_scc
+
+    if seed_effects is None:
+        effects: dict[str, dict[str, EffectOrigin]] = {
+            fid: dict(summary.effects) for fid, summary in summaries.items()
+        }
+    else:
+        effects = {
+            fid: dict(seed_effects.get(fid, summary.effects))
+            for fid, summary in summaries.items()
+        }
+    graph = {
+        fid: [callee for callee, _label, _line in edges.get(fid, ())]
+        for fid in summaries
+    }
+    for component in tarjan_scc(graph):
+        changed = True
+        while changed:
+            changed = False
+            for fid in component:
+                if fid not in effects:
+                    continue
+                for callee, label, line in sorted(edges.get(fid, ())):
+                    if callee == fid:
+                        continue
+                    for effect, origin in sorted(effects.get(callee, {}).items()):
+                        if effect in effects[fid]:
+                            continue
+                        effects[fid][effect] = EffectOrigin(
+                            effect,
+                            origin.origin,
+                            ((label, line), *origin.chain),
+                        )
+                        changed = True
+    return effects
+
+
+def resolve_returns(
+    summaries: Mapping[str, FunctionSummary],
+    resolve: Callable[[str, str], str | None],
+) -> dict[str, FunctionSummary]:
+    """Resolve symbolic ``return_call`` references to concrete facts.
+
+    ``resolve(fid, target)`` maps a symbolic target (seen from ``fid``'s
+    file) to a project function id. Chains (``a`` returns ``b()`` returns
+    ``c()``) are followed with memoization; cycles conservatively resolve
+    to *unknown*. Returns new summaries — inputs are never mutated, so
+    the per-file (cacheable) summaries stay pure.
+    """
+    resolved: dict[str, FunctionSummary] = {}
+    in_progress: set[str] = set()
+
+    def final(fid: str) -> FunctionSummary:
+        if fid in resolved:
+            return resolved[fid]
+        summary = summaries[fid]
+        if summary.return_call is None or fid in in_progress:
+            resolved[fid] = summary
+            return summary
+        in_progress.add(fid)
+        try:
+            callee_fid = resolve(fid, summary.return_call)
+            if callee_fid is None or callee_fid not in summaries:
+                out = summary
+            else:
+                callee = final(callee_fid)
+                origin = summary.return_origin or f"via `{callee.name}()`"
+                if callee.return_origin:
+                    origin = f"{origin} → {callee.return_origin}"
+                out = FunctionSummary(
+                    qualname=summary.qualname,
+                    name=summary.name,
+                    lineno=summary.lineno,
+                    is_nested=summary.is_nested,
+                    worker_safe=summary.worker_safe,
+                    effects=summary.effects,
+                    iterated_params=summary.iterated_params,
+                    iterated_calls=summary.iterated_calls,
+                    return_unit=summary.return_unit or callee.return_unit,
+                    return_ordered=callee.return_ordered,
+                    return_origin=origin,
+                    return_call=None,
+                )
+        finally:
+            in_progress.discard(fid)
+        resolved[fid] = out
+        return out
+
+    for fid in sorted(summaries):
+        final(fid)
+    return resolved

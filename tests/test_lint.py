@@ -36,10 +36,16 @@ def only(rule_id: str, source: str, path: str = "pkg/mod.py") -> list[Finding]:
 
 
 class TestRegistry:
-    def test_eleven_domain_rules_registered(self):
+    def test_fourteen_domain_rules_registered(self):
         ids = [r.rule_id for r in all_rules()]
         assert ids == sorted(ids)
-        expected = {f"R00{i}" for i in range(1, 10)} | {"R010", "R011"}
+        expected = {f"R00{i}" for i in range(1, 10)} | {
+            "R010",
+            "R011",
+            "R012",
+            "R013",
+            "R014",
+        }
         assert expected <= set(ids)
 
     def test_every_rule_documents_its_invariant(self):
@@ -695,7 +701,7 @@ class TestCliExitCodes:
         rules = [f["rule"] for f in payload["findings"]]
         assert rules == ["R001", "R004"]
         first = payload["findings"][0]
-        assert set(first) == {"path", "line", "col", "rule", "message"}
+        assert set(first) == {"path", "line", "col", "rule", "message", "fixable"}
         assert payload["summary"] == {"findings": 2, "files_flagged": 1}
 
     def test_json_format_on_a_clean_tree(self, tmp_path, capsys):

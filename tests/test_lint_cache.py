@@ -1,0 +1,160 @@
+"""reprolint v3 incremental cache: store keying, invalidation, parity.
+
+The cache contract that makes warm CI lint near-instant without ever
+serving stale analysis: per-file phase-1 facts and per-file findings are
+keyed by source digest + rule-set version, findings additionally by the
+digests of the file's *dependency cone* (call-graph-aware). A warm run
+over an unchanged tree hits for every file and writes nothing; editing
+a leaf helper invalidates its callers' findings even though their own
+sources are untouched.
+"""
+
+import pytest
+
+from repro.lint import get_rule, lint_paths, lint_project
+from repro.store import PlanStore
+
+HELPER = """\
+import random
+
+
+def scramble(items):
+    random.shuffle(items)
+    return items
+"""
+
+CALLER = """\
+from pkg.util import scramble
+
+
+def plan(items):
+    return scramble(items)
+"""
+
+BYSTANDER = """\
+def double(x):
+    return 2 * x
+"""
+
+PROJECT = [
+    ("pkg/util.py", HELPER),
+    ("pkg/app.py", CALLER),
+    ("pkg/other.py", BYSTANDER),
+]
+
+
+@pytest.fixture
+def store(tmp_path):
+    return PlanStore(tmp_path)
+
+
+def deltas(store, fn):
+    """(hits, misses, puts) deltas across one call of ``fn``."""
+    before = (store.hits, store.misses, store.puts)
+    result = fn()
+    return result, (
+        store.hits - before[0],
+        store.misses - before[1],
+        store.puts - before[2],
+    )
+
+
+class TestWarmRunContract:
+    def test_warm_run_hits_every_file_and_writes_nothing(self, store):
+        cold, (_, cold_misses, cold_puts) = deltas(
+            store, lambda: lint_project(PROJECT, store=store)
+        )
+        # Cold: every file misses twice (phase-1 facts + findings) and
+        # writes both entries back.
+        assert cold_misses == 2 * len(PROJECT)
+        assert cold_puts == 2 * len(PROJECT)
+
+        warm, (warm_hits, warm_misses, warm_puts) = deltas(
+            store, lambda: lint_project(PROJECT, store=store)
+        )
+        assert warm == cold
+        assert warm_hits == 2 * len(PROJECT)
+        assert warm_misses == 0
+        assert warm_puts == 0
+
+    def test_cached_findings_keep_their_fixes(self, store):
+        sources = [("pkg/mod.py", "out = list(set(items))\n")]
+        rules = [get_rule("R004")]
+        cold = lint_project(sources, rules=rules, store=store)
+        warm = lint_project(sources, rules=rules, store=store)
+        assert warm == cold
+        # Finding equality ignores the fix payload, so check it directly:
+        # a warm run must reproduce the autofix edit byte for byte.
+        assert cold[0].fix is not None
+        assert warm[0].fix == cold[0].fix
+
+    def test_storeless_and_cached_findings_agree(self, store):
+        assert lint_project(PROJECT, store=store) == lint_project(PROJECT)
+
+
+class TestInvalidation:
+    def test_comment_only_edit_does_not_invalidate_callers(self, store):
+        first = lint_project(PROJECT, store=store)
+
+        # A comment-only edit changes pkg/util.py's source digest but
+        # not its *influence* digest (summaries + propagated effects),
+        # which is what its callers' findings entries are keyed on. So
+        # util recomputes (phase-1 + findings) while app and the
+        # bystander stay fully cached.
+        edited = [
+            ("pkg/util.py", HELPER + "\n# tuning notes\n"),
+            ("pkg/app.py", CALLER),
+            ("pkg/other.py", BYSTANDER),
+        ]
+        warm, (_, misses, _) = deltas(
+            store, lambda: lint_project(edited, store=store)
+        )
+        assert misses == 2
+        assert {f.path for f in warm} == {f.path for f in first}
+
+    def test_semantic_change_updates_caller_findings(self, store):
+        first = lint_project(PROJECT, store=store)
+        assert any(f.path == "pkg/app.py" for f in first)
+
+        fixed_helper = HELPER.replace(
+            "random.shuffle(items)\n    return items",
+            "return sorted(items)",
+        )
+        edited = [
+            ("pkg/util.py", fixed_helper),
+            ("pkg/app.py", CALLER),
+            ("pkg/other.py", BYSTANDER),
+        ]
+        second, (_, misses, _) = deltas(
+            store, lambda: lint_project(edited, store=store)
+        )
+        # The effect is gone at the origin; the caller's transitive
+        # finding must disappear even though pkg/app.py never changed —
+        # its findings entry is cone-keyed, so it misses and recomputes.
+        assert second == []
+        assert misses == 3
+
+    def test_rule_selection_is_part_of_the_key(self, store):
+        rules = [get_rule("R001")]
+        all_findings = lint_project(PROJECT, store=store)
+        subset = lint_project(PROJECT, rules=rules, store=store)
+        # Serving the full-rule cache for a subset run (or vice versa)
+        # would change results; both selections coexist in one store.
+        assert {f.rule_id for f in subset} == {"R001"}
+        assert lint_project(PROJECT, store=store) == all_findings
+
+
+class TestDriverPathUsesTheStore:
+    def test_lint_paths_warm_run_is_fully_cached(self, tmp_path):
+        project = tmp_path / "proj"
+        project.mkdir()
+        (project / "mod.py").write_text("import random\nrandom.seed(7)\n")
+        (project / "clean.py").write_text("def f(a):\n    return a\n")
+        store = PlanStore(tmp_path / "store")
+
+        cold = lint_paths([project], store=store)
+        before = (store.hits, store.misses)
+        warm = lint_paths([project], store=store)
+        assert warm == cold
+        assert store.misses == before[1]
+        assert store.hits - before[0] == 4

@@ -1,0 +1,175 @@
+"""reprolint v3 autofixer: fixpoint semantics, edit algebra, CLI contract.
+
+The fixer's guarantees (see ``repro.lint.fix``): conservative — only
+edits whose semantics are locally provable; *idempotent* — fixing
+already-fixed sources applies nothing and changes nothing; convergent —
+fixed sources re-lint clean of every fixable finding; and ``--dry-run``
+is byte-preserving on disk while printing the exact diff ``--fix`` would
+apply.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cli import main as cli_main
+from repro.lint import (
+    TextEdit,
+    apply_edits,
+    fix_sources,
+    get_rule,
+    lint_project,
+    unified_diff,
+)
+
+#: Sources with one known-fixable violation each, plus one clean file.
+CORPUS = [
+    ("pkg/loops.py", "for x in {3, 1, 2}:\n    use(x)\n"),
+    ("pkg/serial.py", "key = canonical_json(set(names))\n"),
+    ("pkg/api.py", "def plan_widget(region, prune=True, jobs=1):\n    pass\n"),
+    ("pkg/stale.py", "x = 1  # repro: noqa-R001\n"),
+    ("pkg/clean.py", "def helper(a, b):\n    return a + b\n"),
+]
+
+
+class TestApplyEdits:
+    def test_edits_apply_bottom_up(self):
+        out, applied = apply_edits(
+            "abcdef", [TextEdit(0, 1, "X"), TextEdit(3, 4, "Y")]
+        )
+        assert out == "XbcYef"
+        assert applied == 2
+
+    def test_pure_insertion(self):
+        out, applied = apply_edits("abcdef", [TextEdit(3, 3, "Z")])
+        assert out == "abcZdef"
+        assert applied == 1
+
+    def test_overlapping_edit_is_skipped_not_rebased(self):
+        out, applied = apply_edits(
+            "abcdef", [TextEdit(0, 4, "X"), TextEdit(2, 6, "Y")]
+        )
+        # Bottom-up: (2, 6) lands first; (0, 4) overlaps it and is
+        # deferred to the next lint round rather than rebased.
+        assert out == "abY"
+        assert applied == 1
+
+    def test_duplicate_edits_collapse(self):
+        edit = TextEdit(0, 1, "X")
+        out, applied = apply_edits("abc", [edit, edit])
+        assert out == "Xbc"
+        assert applied == 1
+
+    def test_no_edits_is_identity(self):
+        assert apply_edits("abc", []) == ("abc", 0)
+
+
+class TestFixpoint:
+    def test_corpus_fixes_apply_and_re_lint_clean(self):
+        report = fix_sources(CORPUS, report_unused_noqa=True)
+        assert report.total_applied >= 4
+        assert report.remaining == []
+        fixed = list(report.files.items())
+        assert lint_project(fixed, report_unused_noqa=True) == []
+
+    def test_fix_is_idempotent(self):
+        once = fix_sources(CORPUS, report_unused_noqa=True)
+        twice = fix_sources(
+            list(once.files.items()), report_unused_noqa=True
+        )
+        assert twice.total_applied == 0
+        assert twice.files == once.files
+
+    def test_sorted_wrap_fixes(self):
+        report = fix_sources(CORPUS)
+        assert "for x in sorted({3, 1, 2}):" in report.files["pkg/loops.py"]
+        assert (
+            "canonical_json(sorted(set(names)))"
+            in report.files["pkg/serial.py"]
+        )
+
+    def test_keyword_only_migration(self):
+        report = fix_sources(CORPUS)
+        assert (
+            "def plan_widget(region, *, prune=True, jobs=1):"
+            in report.files["pkg/api.py"]
+        )
+
+    def test_stale_noqa_removal(self):
+        report = fix_sources(CORPUS, report_unused_noqa=True)
+        assert report.files["pkg/stale.py"] == "x = 1\n"
+
+    def test_clean_file_is_untouched(self):
+        report = fix_sources(CORPUS, report_unused_noqa=True)
+        assert report.files["pkg/clean.py"] == dict(CORPUS)["pkg/clean.py"]
+        assert "pkg/clean.py" not in report.changed_paths()
+
+    def test_unfixable_findings_survive_as_remaining(self):
+        sources = [("pkg/mod.py", "import random\nrandom.seed(7)\n")]
+        report = fix_sources(sources, rules=[get_rule("R001")])
+        assert report.total_applied == 0
+        assert [f.rule_id for f in report.remaining] == ["R001"]
+        assert report.files["pkg/mod.py"] == sources[0][1]
+
+    def test_unified_diff_covers_only_changed_files(self):
+        report = fix_sources(CORPUS, report_unused_noqa=True)
+        diff = unified_diff(dict(CORPUS), report)
+        assert "a/pkg/loops.py" in diff
+        assert "+for x in sorted({3, 1, 2}):" in diff
+        assert "pkg/clean.py" not in diff
+
+
+class TestCliFix:
+    def _write_corpus(self, tmp_path):
+        target = tmp_path / "loops.py"
+        target.write_text("for x in {3, 1, 2}:\n    use(x)\n")
+        return target
+
+    def test_dry_run_is_byte_preserving(self, tmp_path, capsys):
+        target = self._write_corpus(tmp_path)
+        before = target.read_bytes()
+        assert cli_main(["lint", str(tmp_path), "--fix", "--dry-run"]) == 0
+        assert target.read_bytes() == before
+        captured = capsys.readouterr()
+        assert "+for x in sorted({3, 1, 2}):" in captured.out
+        assert "would apply 1 fix(es) in 1 file(s)" in captured.err
+
+    def test_fix_writes_and_re_lints_clean(self, tmp_path, capsys):
+        target = self._write_corpus(tmp_path)
+        assert cli_main(["lint", str(tmp_path), "--fix"]) == 0
+        assert "sorted({3, 1, 2})" in target.read_text()
+        capsys.readouterr()
+        assert cli_main(["lint", str(tmp_path)]) == 0
+
+    def test_fix_reports_remaining_findings(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text("import random\nrandom.seed(7)\n")
+        assert cli_main(["lint", str(tmp_path), "--fix"]) == 1
+        captured = capsys.readouterr()
+        assert "R001" in captured.out
+
+    def test_dry_run_without_fix_is_usage_error(self, tmp_path, capsys):
+        self._write_corpus(tmp_path)
+        assert cli_main(["lint", str(tmp_path), "--dry-run"]) == 2
+        assert "--dry-run requires --fix" in capsys.readouterr().err
+
+
+class TestFixRoundTripProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        values=st.lists(
+            st.integers(min_value=0, max_value=99),
+            min_size=1,
+            max_size=5,
+            unique=True,
+        )
+    )
+    def test_fixed_set_iterations_re_lint_clean(self, values):
+        literal = "{" + ", ".join(str(v) for v in values) + "}"
+        source = f"for x in {literal}:\n    use(x)\n"
+        sources = [("pkg/mod.py", source)]
+        report = fix_sources(sources, rules=[get_rule("R004")])
+        assert report.remaining == []
+        fixed = list(report.files.items())
+        assert lint_project(fixed, rules=[get_rule("R004")]) == []
+        # And the fix itself reached a true fixpoint.
+        again = fix_sources(fixed, rules=[get_rule("R004")])
+        assert again.total_applied == 0

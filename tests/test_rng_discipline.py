@@ -45,13 +45,15 @@ class TestRuntimeAudit:
     def pinned_global_state(self):
         # Pin a recognizable global state; samplers must neither consume
         # nor reseed it.
-        random.seed(0xDEADBEEF)
-        self.before = random.getstate()
+        # This test *audits* RNG discipline: poking the global RNG on
+        # purpose is its job.
+        random.seed(0xDEADBEEF)  # repro: noqa-R001
+        self.before = random.getstate()  # repro: noqa-R001
         yield
-        random.setstate(self.before)
+        random.setstate(self.before)  # repro: noqa-R001
 
     def _assert_untouched(self):
-        assert random.getstate() == self.before
+        assert random.getstate() == self.before  # repro: noqa-R001
 
     def test_workload_sampling_leaves_global_rng_alone(self):
         from repro.simulation.workloads import WORKLOADS
@@ -111,8 +113,8 @@ class TestRuntimeAudit:
                 g.flows(duration_s=1.0, offered_bps=1e9)
             )
 
-        random.seed(1)
+        random.seed(1)  # repro: noqa-R001
         a = digest()
-        random.seed(2)
+        random.seed(2)  # repro: noqa-R001
         b = digest()
         assert a == b
