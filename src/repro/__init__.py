@@ -19,6 +19,11 @@ networking multi-data center regions" (Dukic et al., SIGCOMM 2020):
 * :mod:`repro.obs` — structured observability: hierarchical spans,
   counters, and exporters threaded through the planner, engine, simulator,
   and control plane (off by default; see ``obs.tracing``).
+* :mod:`repro.service` — the planner service: ``iris serve`` daemon with
+  single-flight request coalescing, cache-aside over :mod:`repro.store`,
+  and incremental replanning under :class:`repro.region.RegionDelta`
+  (byte-identical to a cold replan, typically ~an order of magnitude
+  faster).
 """
 
 from repro import api, obs
@@ -37,7 +42,7 @@ from repro.cost.estimator import estimate_cost
 from repro.designs.base import Design, available_designs, get_design
 from repro.obs import SpanRecord, profile_plan
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "api",

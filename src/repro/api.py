@@ -51,6 +51,7 @@ if TYPE_CHECKING:
 
 __all__ = [
     "PlannerConfig",
+    "apply_delta",
     "last_trace",
     "plan",
     "simulate",
@@ -211,6 +212,38 @@ def _plan(
     if design == "robust" and config.traffic is not None:
         options.setdefault("traffic", config.traffic)
     return get_design(design, **options).plan(region)
+
+
+def apply_delta(
+    plan: "IrisPlan",
+    delta: Any,
+    *,
+    config: PlannerConfig | None = None,
+    verify: bool = False,
+) -> "IrisPlan":
+    """Replan ``plan``'s region under a :class:`repro.region.RegionDelta`.
+
+    The facade over :func:`repro.service.apply_delta`: the result is
+    byte-identical (``plan_to_json`` equality) to a cold replan of the
+    mutated region, but untouched scenarios, hose flows, and — when the
+    topology is unchanged — the whole optical realization are reused
+    from ``plan``. ``config`` supplies the execution options exactly as
+    for :func:`plan`; ``verify=True`` additionally runs the cold replan
+    and raises on any divergence (for tests and drills).
+    """
+    config = config or _DEFAULT_CONFIG
+    _apply_hose_config(config)
+    from repro.service.replan import apply_delta as _apply_delta
+
+    return _apply_delta(
+        plan,
+        delta,
+        jobs=config.jobs,
+        backend=config.backend,
+        prune_enumeration=config.prune_enumeration,
+        validate=config.validate,
+        verify=verify,
+    )
 
 
 def sweep(

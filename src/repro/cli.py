@@ -13,6 +13,11 @@ Subcommands map onto the paper's workflow:
 * ``failover``  — a duct-cut drill through the control plane
 * ``lint``      — reprolint: domain-aware static analysis of planner invariants
 * ``store``     — inspect/maintain the content-addressed artifact store
+* ``serve``     — run the planner daemon (JSON-over-TCP, see ``repro.service``)
+* ``submit``    — submit a planning job (optionally with a region delta)
+* ``jobs``      — list a running daemon's jobs and counters
+
+``iris --version`` prints the package version.
 
 Any subcommand that accepts ``--trace``/``--trace-json PATH`` runs under
 :mod:`repro.obs` tracing: ``--trace`` prints the span tree (with counters)
@@ -569,11 +574,134 @@ def cmd_store_verify(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the planner daemon until SIGTERM/SIGINT (then drain)."""
+    import signal
+
+    from repro.service import PlannerService, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        jobs=args.jobs,
+        backend=args.backend,
+        job_timeout_s=args.job_timeout,
+    )
+    service = PlannerService(config, store=_open_store(args)).start()
+    host, port = service.address
+    print(f"iris daemon listening on {host}:{port}", file=sys.stderr)
+    if args.port_file:
+        Path(args.port_file).write_text(f"{port}\n")
+
+    def _drain(signum, _frame):
+        print(
+            f"signal {signal.Signals(signum).name}: draining "
+            f"(up to {args.drain_timeout:.0f}s)",
+            file=sys.stderr,
+        )
+        import threading
+
+        threading.Thread(
+            target=service.drain, args=(args.drain_timeout,), daemon=True
+        ).start()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+    service.wait_closed()
+    print("iris daemon stopped", file=sys.stderr)
+    return 0
+
+
+def _service_client(args):
+    from repro.service import ServiceClient
+
+    return ServiceClient((args.host, args.port))
+
+
+def cmd_submit(args) -> int:
+    """Submit one planning job to a running daemon and wait for the plan."""
+    import json
+
+    from repro.region.delta import delta_from_dict
+
+    region, _ = _load_region(args)
+    delta = None
+    if args.delta_file:
+        delta = delta_from_dict(json.loads(Path(args.delta_file).read_text()))
+    elif args.delta:
+        delta = delta_from_dict(json.loads(args.delta))
+    with _service_client(args) as client:
+        submitted = client.submit(region, delta=delta)
+        job_id = submitted["job_id"]
+        print(
+            f"submitted {job_id}"
+            + (" (coalesced onto an in-flight job)" if submitted["coalesced"] else ""),
+            file=sys.stderr,
+        )
+        if args.no_wait:
+            print(job_id)
+            return 0
+        result = client.result(job_id, timeout_s=args.timeout)
+    stats = result.get("delta_stats")
+    print(f"job {job_id}: {result['state']} ({result['outcome']})")
+    if stats is not None:
+        print(
+            f"  delta: mode={stats['mode']} realization={stats['realization']} "
+            f"scenarios reused={stats['scenarios_reused']} "
+            f"computed={stats['scenarios_computed']}"
+        )
+    if args.out:
+        Path(args.out).write_text(result["plan"])
+        print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_jobs(args) -> int:
+    """List a running daemon's jobs and counters."""
+    with _service_client(args) as client:
+        jobs = client.jobs()
+        stats = client.stats()
+    if not jobs:
+        print("no jobs")
+    for job in jobs:
+        line = f"{job['job_id']:<12}{job['state']:<9}{job.get('outcome') or '-':<9}"
+        if job.get("waiters", 1) > 1:
+            line += f" waiters={job['waiters']}"
+        if job.get("error"):
+            line += f" error: {job['error']}"
+        print(line)
+    counters = stats["counters"]
+    print(
+        f"counters: queued={counters['queued']} coalesced={counters['coalesced']} "
+        f"store={counters['store_hits']} patched={counters['patched']} "
+        f"cold={counters['cold']} failed={counters['failed']} "
+        f"rejected={counters['rejected']}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _add_service_address_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1", help="daemon host")
+    parser.add_argument(
+        "--port", type=int, required=True, help="daemon port (see iris serve)"
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The iris argument parser."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="iris",
         description="Regional DCI planning and evaluation (SIGCOMM'20 Iris reproduction)",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -747,6 +875,72 @@ def build_parser() -> argparse.ArgumentParser:
                 help="delete corrupt blobs and fix the manifest",
             )
         ps.set_defaults(func=func)
+
+    p = sub.add_parser("serve", help="run the planner daemon (repro.service)")
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 = ephemeral)"
+    )
+    p.add_argument(
+        "--port-file",
+        metavar="PATH",
+        help="write the bound port here once listening (for scripts/tests)",
+    )
+    p.add_argument("--workers", type=int, default=2, help="worker threads")
+    p.add_argument(
+        "--queue-size", type=int, default=16, help="bounded request queue"
+    )
+    p.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job deadline (cancelled via the engine's CancelToken)",
+    )
+    p.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="grace period for in-flight jobs on SIGTERM/SIGINT",
+    )
+    _add_jobs_arg(p)
+    _add_store_args(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit a planning job to a running daemon"
+    )
+    _add_service_address_args(p)
+    _add_region_args(p)
+    p.add_argument(
+        "--delta",
+        metavar="JSON",
+        help="inline RegionDelta JSON applied to the region before planning",
+    )
+    p.add_argument(
+        "--delta-file",
+        metavar="PATH",
+        help="file holding the RegionDelta JSON (overrides --delta)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="how long to wait for the result",
+    )
+    p.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="print the job id and return without waiting",
+    )
+    p.add_argument("--out", help="write the plan JSON here")
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("jobs", help="list a daemon's jobs and counters")
+    _add_service_address_args(p)
+    p.set_defaults(func=cmd_jobs)
 
     return parser
 

@@ -48,6 +48,8 @@ benchmarks and the CLI can report where planning time goes.
 from __future__ import annotations
 
 import os
+import threading
+import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import (
@@ -61,7 +63,7 @@ from typing import (
 )
 
 from repro import obs
-from repro.exceptions import ReproError
+from repro.exceptions import JobCancelled, ReproError
 from repro.obs import SpanRecord
 
 T = TypeVar("T")
@@ -160,6 +162,52 @@ def worker_safe(fn: Callable[..., Any]) -> Callable[..., Any]:
     """
     fn.__worker_safe__ = True
     return fn
+
+
+class CancelToken:
+    """Cooperative cancellation for a backend fan-out (and per-job timeouts).
+
+    The planner service hands each job a token; backends call
+    :meth:`checkpoint` between chunks (and while awaiting pool futures),
+    so a cancelled or timed-out job unwinds with :class:`JobCancelled` at
+    the next chunk boundary instead of running the plan to completion.
+    Thread-safe: any thread may :meth:`cancel` while a worker thread plans.
+
+    ``timeout_s`` arms a monotonic deadline at construction; the token
+    then cancels *itself* the first time a checkpoint runs past the
+    deadline. Wall-clock reads stay inside this class (sanctioned
+    ``time.monotonic``), keeping chunk functions themselves clock-free.
+    """
+
+    __slots__ = ("_event", "_deadline", "reason")
+
+    def __init__(self, timeout_s: float | None = None) -> None:
+        self._event = threading.Event()
+        self._deadline = (
+            time.monotonic() + timeout_s if timeout_s is not None else None
+        )
+        self.reason: str = ""
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Request cancellation; idempotent, safe from any thread."""
+        if not self._event.is_set():
+            self.reason = reason
+            self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether cancellation has been requested (or the deadline hit)."""
+        if self._event.is_set():
+            return True
+        if self._deadline is not None and time.monotonic() >= self._deadline:
+            self.cancel("timeout")
+            return True
+        return False
+
+    def checkpoint(self) -> None:
+        """Raise :class:`JobCancelled` if cancellation was requested."""
+        if self.cancelled:
+            raise JobCancelled(f"job cancelled: {self.reason or 'cancelled'}")
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -267,6 +315,9 @@ class SerialBackend:
     name = "serial"
     jobs = 1
 
+    def __init__(self, cancel_token: CancelToken | None = None) -> None:
+        self.cancel_token = cancel_token
+
     def plan_chunks(self, items: Sequence[T]) -> list[list[T]]:
         """Static contiguous chunks (a handful, purely for trace shape).
 
@@ -287,11 +338,16 @@ class SerialBackend:
         result the moment it lands (sweep resume) instead of waiting for
         the whole fan-out.
         """
+        token = self.cancel_token
         if not obs.enabled():
             for chunk in chunks:
+                if token is not None:
+                    token.checkpoint()
                 yield fn(shared, chunk)
             return
         for chunk in chunks:
+            if token is not None:
+                token.checkpoint()
             result, record = _traced_chunk(fn, shared, chunk)
             obs.attach(record)
             yield result
@@ -323,22 +379,44 @@ class ProcessBackend:
     the capacity phase), then shut down by :meth:`close`. ``fn`` and the
     chunk items must be picklable module-level objects; exceptions raised
     in workers propagate to the caller.
+
+    Interrupts never orphan workers: a ``KeyboardInterrupt``/``SystemExit``
+    reaching a fan-out (Ctrl-C, SIGTERM via a raising handler) — or a
+    :class:`JobCancelled` from the backend's :class:`CancelToken` — tears
+    the pool down via :meth:`terminate` (terminate + join every worker
+    process) before propagating, instead of leaving ``shutdown(wait=True)``
+    blocked behind in-flight chunks.
     """
 
     name = "process"
 
-    def __init__(self, jobs: int) -> None:
+    def __init__(
+        self, jobs: int, cancel_token: CancelToken | None = None
+    ) -> None:
         if jobs < 2:
             raise ReproError(
                 f"a process backend needs at least 2 workers, got {jobs}"
             )
         self.jobs = jobs
+        self.cancel_token = cancel_token
         self._executor: ProcessPoolExecutor | None = None
 
     def _pool(self) -> ProcessPoolExecutor:
         if self._executor is None:
             self._executor = ProcessPoolExecutor(max_workers=self.jobs)
         return self._executor
+
+    def _await(self, future: Future) -> Any:
+        """Block on ``future``, polling the cancel token between waits."""
+        token = self.cancel_token
+        if token is None:
+            return future.result()
+        while True:
+            token.checkpoint()
+            try:
+                return future.result(timeout=0.05)
+            except TimeoutError:
+                continue
 
     def plan_chunks(self, items: Sequence[T]) -> list[list[T]]:
         """Static balanced chunks, a few per worker."""
@@ -362,8 +440,11 @@ class ProcessBackend:
         if not chunks:
             return
         traced = obs.enabled()
+        token = self.cancel_token
         # A single chunk gains nothing from the pool round-trip.
         if len(chunks) == 1:
+            if token is not None:
+                token.checkpoint()
             if not traced:
                 yield fn(shared, chunks[0])
                 return
@@ -371,21 +452,26 @@ class ProcessBackend:
             obs.attach(record)
             yield result
             return
-        pool = self._pool()
-        if not traced:
-            futures: list[Future] = [
-                pool.submit(fn, shared, chunk) for chunk in chunks
+        try:
+            pool = self._pool()
+            if not traced:
+                futures: list[Future] = [
+                    pool.submit(fn, shared, chunk) for chunk in chunks
+                ]
+                for future in futures:
+                    yield self._await(future)
+                return
+            traced_futures: list[Future] = [
+                pool.submit(_traced_chunk, fn, shared, chunk)
+                for chunk in chunks
             ]
-            for future in futures:
-                yield future.result()
-            return
-        traced_futures: list[Future] = [
-            pool.submit(_traced_chunk, fn, shared, chunk) for chunk in chunks
-        ]
-        for future in traced_futures:
-            result, record = future.result()
-            obs.attach(record)
-            yield result
+            for future in traced_futures:
+                result, record = self._await(future)
+                obs.attach(record)
+                yield result
+        except (KeyboardInterrupt, SystemExit, JobCancelled):
+            self.terminate()
+            raise
 
     def run_chunks(
         self,
@@ -401,6 +487,27 @@ class ProcessBackend:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+
+    def terminate(self) -> None:
+        """Tear the pool down hard: cancel queued work, kill workers, join.
+
+        The interrupt counterpart to :meth:`close` — ``shutdown(wait=True)``
+        would block behind whatever chunk each worker is mid-way through
+        (and on Ctrl-C the workers saw the SIGINT too, in an arbitrary
+        state), so instead cancel everything still queued, SIGTERM each
+        worker process, and join them so none is left orphaned. Idempotent;
+        the backend is reusable afterwards (a fresh pool spawns lazily).
+        """
+        executor = self._executor
+        self._executor = None
+        if executor is None:
+            return
+        processes = list(getattr(executor, "_processes", {}).values())
+        executor.shutdown(wait=False, cancel_futures=True)
+        for proc in processes:
+            proc.terminate()
+        for proc in processes:
+            proc.join(timeout=5.0)
 
     def __enter__(self) -> "ProcessBackend":
         return self
@@ -431,8 +538,15 @@ class WorkStealingBackend(ProcessBackend):
 
     name = "steal"
 
-    def __init__(self, jobs: int, *, factor: int = 2, min_chunk: int = 1) -> None:
-        super().__init__(jobs)
+    def __init__(
+        self,
+        jobs: int,
+        cancel_token: CancelToken | None = None,
+        *,
+        factor: int = 2,
+        min_chunk: int = 1,
+    ) -> None:
+        super().__init__(jobs, cancel_token)
         self.factor = factor
         self.min_chunk = min_chunk
 
@@ -444,7 +558,10 @@ class WorkStealingBackend(ProcessBackend):
 
 
 def get_backend(
-    jobs: int | None = 1, backend: str | None = None
+    jobs: int | None = 1,
+    backend: str | None = None,
+    *,
+    cancel_token: CancelToken | None = None,
 ) -> ExecutionBackend:
     """The execution backend for a ``jobs=`` argument.
 
@@ -454,7 +571,9 @@ def get_backend(
     otherwise. An explicitly requested pool backend still degrades to
     serial when only one worker is available (e.g. ``jobs=0`` on a
     single-core machine); ``backend="serial"`` forces serial execution
-    regardless of ``jobs``.
+    regardless of ``jobs``. ``cancel_token`` arms cooperative
+    cancellation: the backend checks it at every chunk boundary (see
+    :class:`CancelToken`).
     """
     n = resolve_jobs(jobs)
     if backend is None:
@@ -465,10 +584,10 @@ def get_backend(
             f"{', '.join(BACKEND_NAMES)}"
         )
     if backend == "serial" or n == 1:
-        return SerialBackend()
+        return SerialBackend(cancel_token)
     if backend == "process":
-        return ProcessBackend(n)
-    return WorkStealingBackend(n)
+        return ProcessBackend(n, cancel_token)
+    return WorkStealingBackend(n, cancel_token)
 
 
 def map_in_chunks(

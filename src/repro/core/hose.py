@@ -472,6 +472,46 @@ def clear_hose_cache() -> None:
     _cache = _default_cache()
 
 
+def invalidate_hose_dcs(dcs: Iterable[str]) -> int:
+    """Drop every cached hose instance that involves any DC in ``dcs``.
+
+    Correctness never requires this: the memo keys every instance by its
+    DC *capacities* as well as its pair set (see :func:`hose_capacity`),
+    so a resized DC's lookups miss — rather than collide — by
+    construction. What stale entries do cost is memory and repair-candidate
+    quality in a long-lived process: once a DC detaches or resizes, its
+    old-capacity instances can never be requested again, yet they occupy
+    memo slots and keep surfacing as incompatible repair candidates. The
+    planner service calls this when applying ``dc_detached``/``dc_resized``
+    deltas. Returns the number of value entries dropped.
+    """
+    targets = {str(dc) for dc in dcs}
+    if not targets:
+        return 0
+    cache = _hose_cache()
+    dead_entries = [
+        key
+        for key in cache.entries
+        if any(dc in targets for dc, _cap in key[1])
+    ]
+    for key in dead_entries:
+        del cache.entries[key]
+    dead_states = [
+        key
+        for key, state in cache.states.items()
+        if any(dc in targets for dc in state.caps)
+    ]
+    for key in dead_states:
+        state = cache.states.pop(key)
+        for pair in sorted(state.pairs):
+            bucket = cache.index.get(pair)
+            if bucket is not None:
+                bucket.pop(key, None)
+                if not bucket:
+                    del cache.index[pair]
+    return len(dead_entries)
+
+
 def hose_cache_stats() -> HoseCacheStats:
     """Current-process cache counters (the engine's hit-rate hook)."""
     cache = _hose_cache()

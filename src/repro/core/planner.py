@@ -23,6 +23,7 @@ from repro.core.amplifiers import place_amplifiers
 from repro.core.cutthrough import place_cut_throughs
 from repro.core.plan import IrisPlan, TopologyPlan
 from repro.core.residual import residual_fiber_pairs
+from repro.core.engine import CancelToken
 from repro.core.topology import plan_topology
 from repro.exceptions import PlanningError, ReproError
 from repro.region.fibermap import RegionSpec
@@ -50,6 +51,11 @@ class IrisPlanner:
         Backend name from :data:`repro.core.engine.BACKEND_NAMES`
         (``"serial"``, ``"process"``, ``"steal"``). ``None`` (default)
         picks serial for ``jobs=1`` and work-stealing otherwise.
+    ``cancel_token``
+        Optional :class:`repro.core.engine.CancelToken` checked at chunk
+        boundaries during Algorithm 1's fan-out, so the planner service
+        can cancel or time out a job mid-plan (it unwinds with
+        :class:`~repro.exceptions.JobCancelled`).
     """
 
     region: RegionSpec
@@ -57,6 +63,7 @@ class IrisPlanner:
     validate: bool = True
     jobs: int | None = 1
     backend: str | None = None
+    cancel_token: CancelToken | None = None
 
     def plan(self) -> IrisPlan:
         """Produce the full Iris plan for the region."""
@@ -70,6 +77,7 @@ class IrisPlanner:
             prune_enumeration=self.prune_enumeration,
             jobs=self.jobs,
             backend=self.backend,
+            cancel_token=self.cancel_token,
         )
 
     def plan_from_topology(self, topology: TopologyPlan) -> IrisPlan:
@@ -164,6 +172,7 @@ def _plan_region(
     jobs: int | None = 1,
     backend: str | None = None,
     store: "PlanStore | None" = None,
+    cancel_token: CancelToken | None = None,
 ) -> IrisPlan:
     """Plan ``region`` end to end (the non-deprecated internal entry point).
 
@@ -186,6 +195,7 @@ def _plan_region(
         validate=validate,
         jobs=jobs,
         backend=backend,
+        cancel_token=cancel_token,
     )
     if store is None:
         return planner.plan()

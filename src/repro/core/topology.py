@@ -23,12 +23,13 @@ bit-identical to serial ones.
 from __future__ import annotations
 
 import itertools
-from typing import Mapping, Sequence
+from typing import Mapping, Protocol, Sequence
 
 import networkx as nx
 
 from repro import obs
 from repro.core.engine import (
+    CancelToken,
     ExecutionBackend,
     PlanTimings,
     SerialBackend,
@@ -121,9 +122,57 @@ def _evaluate_scenarios(
     fmap: FiberMap,
     scenarios: Sequence[Scenario],
     sla_fiber_km: float | None,
+    paths_oracle: "PathsOracle | None" = None,
 ) -> list[dict[Pair, tuple[str, ...]]]:
-    """Per-scenario path sets, aligned 1:1 with ``scenarios``."""
-    return map_in_chunks(backend, _paths_chunk, (fmap, sla_fiber_km), scenarios)
+    """Per-scenario path sets, aligned 1:1 with ``scenarios``.
+
+    ``paths_oracle`` (see :class:`PathsOracle`) short-circuits scenarios
+    whose path sets are already known — the incremental-replanning hook.
+    Only the scenarios the oracle declines are fanned out to the backend;
+    answered ones never reach a worker, but their results merge back in
+    position, so the returned list is indistinguishable from a full
+    evaluation (the oracle's contract makes the *values* identical too).
+    """
+    scenarios = list(scenarios)
+    if paths_oracle is None:
+        return map_in_chunks(
+            backend, _paths_chunk, (fmap, sla_fiber_km), scenarios
+        )
+    results: list[dict[Pair, tuple[str, ...]] | None] = [None] * len(scenarios)
+    cold_indices: list[int] = []
+    for i, scenario in enumerate(scenarios):
+        reused = paths_oracle.lookup(scenario)
+        if reused is not None:
+            results[i] = reused
+        else:
+            cold_indices.append(i)
+    cold = map_in_chunks(
+        backend,
+        _paths_chunk,
+        (fmap, sla_fiber_km),
+        [scenarios[i] for i in cold_indices],
+    )
+    for i, paths in zip(cold_indices, cold):
+        results[i] = paths
+    return results  # type: ignore[return-value]
+
+
+class PathsOracle(Protocol):
+    """Answers "what are this scenario's shortest paths?" from prior work.
+
+    ``lookup(scenario)`` returns the scenario's pair->path dict, or
+    ``None`` to decline. The hard contract: a returned dict must be
+    *equal* to what :func:`compute_scenario_paths` would compute on the
+    current map — including Dijkstra tie-breaks — because reused paths
+    feed both the enumeration frontier and the plan bytes. Oracles
+    therefore only answer from provably execution-identical prior runs
+    (see :mod:`repro.service.replan`); anything uncertain is declined and
+    recomputed cold.
+    """
+
+    def lookup(
+        self, scenario: Scenario
+    ) -> dict[Pair, tuple[str, ...]] | None: ...
 
 
 def enumerate_scenario_paths(
@@ -132,6 +181,7 @@ def enumerate_scenario_paths(
     sla_fiber_km: float | None = None,
     prune: bool = True,
     backend: ExecutionBackend | None = None,
+    paths_oracle: PathsOracle | None = None,
 ) -> tuple[dict[Scenario, dict[Pair, tuple[str, ...]]], int]:
     """All (pruned) failure scenarios with their shortest-path sets.
 
@@ -139,7 +189,10 @@ def enumerate_scenario_paths(
     set represents). With ``prune=False``, enumerates brute force (tests).
     ``backend`` fans the per-level scenario evaluations out (serial when
     omitted); the frontier expansion itself stays in the parent, so the
-    enumerated set and its order are backend-independent.
+    enumerated set and its order are backend-independent. ``paths_oracle``
+    answers scenarios from a prior plan (:class:`PathsOracle`); reused
+    path sets feed the frontier exactly as computed ones do, so an oracle
+    honouring its equality contract cannot change what gets enumerated.
     """
     backend = backend or SerialBackend()
     n_ducts = len(fmap.ducts)
@@ -157,7 +210,7 @@ def enumerate_scenario_paths(
         with obs.span("plan.enumerate.brute") as span:
             span.incr("level.scenarios", len(scenarios))
             evaluated = _evaluate_scenarios(
-                backend, fmap, scenarios, sla_fiber_km
+                backend, fmap, scenarios, sla_fiber_km, paths_oracle
             )
         return dict(zip(scenarios, evaluated)), total_raw
 
@@ -167,7 +220,7 @@ def enumerate_scenario_paths(
         with obs.span(f"plan.enumerate.level[{level}]") as span:
             span.incr("level.scenarios", len(frontier))
             evaluated = _evaluate_scenarios(
-                backend, fmap, frontier, sla_fiber_km
+                backend, fmap, frontier, sla_fiber_km, paths_oracle
             )
         next_frontier: list[Scenario] = []
         for scenario, paths in zip(frontier, evaluated):
@@ -229,6 +282,8 @@ def plan_topology(
     prune_enumeration: bool = True,
     jobs: int | None = 1,
     backend: str | None = None,
+    paths_oracle: PathsOracle | None = None,
+    cancel_token: CancelToken | None = None,
 ) -> TopologyPlan:
     """Run Algorithm 1 for ``region``.
 
@@ -251,6 +306,13 @@ def plan_topology(
     ``PlanTimings`` view; with :func:`repro.obs.tracing` active, the same
     spans nest into the caller's trace along with per-level, per-chunk,
     and per-hose-lookup detail.
+
+    ``paths_oracle`` short-circuits scenario evaluations already known
+    from a prior plan (incremental replanning; see :class:`PathsOracle` —
+    its equality contract is what keeps patched plans byte-identical to
+    cold ones). ``cancel_token`` arms cooperative cancellation and per-job
+    timeouts: the fan-out checks it at chunk boundaries and unwinds with
+    :class:`~repro.exceptions.JobCancelled`.
     """
     tracer = obs.current()
     if tracer is None:
@@ -270,7 +332,9 @@ def plan_topology(
             span.incr("prune.ducts_dropped",
                       len(region.fiber_map.ducts) - len(fmap.ducts))
 
-        with get_backend(jobs, backend) as engine_backend:
+        with get_backend(
+            jobs, backend, cancel_token=cancel_token
+        ) as engine_backend:
             with tracer.span("plan.enumerate"):
                 scenario_paths, total_raw = enumerate_scenario_paths(
                     fmap,
@@ -278,6 +342,7 @@ def plan_topology(
                     sla_fiber_km=constraints.sla_fiber_km,
                     prune=prune_enumeration,
                     backend=engine_backend,
+                    paths_oracle=paths_oracle,
                 )
 
             # Different scenarios mostly reroute a few pairs, so the

@@ -68,3 +68,20 @@ class ControlPlaneError(ReproError):
 
 class SimulationError(ReproError):
     """The flow-level simulator was given an inconsistent configuration."""
+
+
+class ServiceError(ReproError):
+    """The planner service rejected, failed, or could not reach a request.
+
+    Raised client-side for transport failures, protocol mismatches, and
+    error responses (including queue-full rejections and job timeouts).
+    """
+
+
+class JobCancelled(ReproError):
+    """A planning job was cancelled (client timeout, drain, or shutdown).
+
+    Raised from :meth:`repro.core.engine.CancelToken.checkpoint` inside
+    backend fan-outs, unwinding the plan cleanly through the engine's
+    interrupt path (pool terminated, no orphaned workers).
+    """

@@ -7,6 +7,7 @@ from repro.region.fibermap import (
     RegionSpec,
     duct_key,
 )
+from repro.region.delta import DELTA_KINDS, RegionDelta, delta_from_dict
 from repro.region.geometry import Point, euclidean_km
 from repro.region.synthetic import SyntheticMapConfig, generate_fiber_map
 from repro.region.placement import PlacementConfig, place_dcs
@@ -19,6 +20,9 @@ __all__ = [
     "OperationalConstraints",
     "RegionSpec",
     "duct_key",
+    "DELTA_KINDS",
+    "RegionDelta",
+    "delta_from_dict",
     "Point",
     "euclidean_km",
     "SyntheticMapConfig",

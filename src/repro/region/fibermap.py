@@ -104,6 +104,16 @@ class FiberMap:
             raise RegionError(f"no duct between {u!r} and {v!r}")
         self._graph.remove_edge(u, v)
 
+    def remove_node(self, name: str) -> None:
+        """Remove a node and every duct incident to it.
+
+        Used when a DC (or hut) site leaves the region entirely — e.g. a
+        ``dc_detached`` delta; its tie-in ducts go with it.
+        """
+        if name not in self._graph:
+            raise RegionError(f"cannot remove unknown node {name!r}")
+        self._graph.remove_node(name)
+
     def copy(self) -> "FiberMap":
         """An independent deep copy of this map."""
         clone = FiberMap()

@@ -1,0 +1,40 @@
+"""The planner service: a long-lived daemon over the batch planner.
+
+Layers (each usable on its own):
+
+* :mod:`repro.service.replan` — :func:`apply_delta`: incremental
+  replanning under a :class:`~repro.region.delta.RegionDelta`, byte-
+  identical to a cold replan of the mutated region.
+* :mod:`repro.service.protocol` — the newline-delimited JSON request/
+  response encoding shared by daemon and client.
+* :mod:`repro.service.daemon` — :class:`PlannerService`: bounded request
+  queue, worker threads over the engine backends, single-flight request
+  coalescing, cache-aside over :mod:`repro.store`, graceful drain.
+* :mod:`repro.service.client` — :class:`ServiceClient`: the thin
+  blocking client the ``iris submit`` / ``iris jobs`` commands wrap.
+"""
+
+from repro.service.replan import DeltaPathOracle, DeltaStats, apply_delta
+
+__all__ = [
+    "DeltaPathOracle",
+    "DeltaStats",
+    "apply_delta",
+    "PlannerService",
+    "ServiceConfig",
+    "ServiceClient",
+]
+
+
+def __getattr__(name: str):
+    # Lazy: the daemon/client pull in socket/threading machinery that
+    # pure apply_delta users (and the planner's import graph) never need.
+    if name in ("PlannerService", "ServiceConfig"):
+        from repro.service import daemon
+
+        return getattr(daemon, name)
+    if name == "ServiceClient":
+        from repro.service import client
+
+        return getattr(client, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

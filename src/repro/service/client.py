@@ -1,0 +1,170 @@
+"""The thin blocking client for the planner daemon.
+
+``iris submit`` / ``iris jobs`` wrap this; library callers use it
+directly::
+
+    from repro.service import ServiceClient
+
+    with ServiceClient(("127.0.0.1", 9770)) as client:
+        job_id = client.submit(region)["job_id"]
+        plan = client.plan(job_id, timeout_s=120.0)
+
+One TCP connection per client, request/response in lockstep (the
+protocol is newline-delimited JSON; see :mod:`repro.service.protocol`).
+Error responses raise :class:`~repro.exceptions.ServiceError` from every
+method except :meth:`request`, which returns them raw.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any
+
+from repro.core.plan import IrisPlan
+from repro.exceptions import ServiceError
+from repro.region.delta import RegionDelta
+from repro.region.fibermap import RegionSpec
+from repro.serialize import plan_from_dict, region_to_dict
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    encode_message,
+    read_message,
+)
+
+
+class ServiceClient:
+    """A blocking client for one :class:`~repro.service.daemon.PlannerService`.
+
+    ``connect_timeout_s`` bounds the TCP connect; per-request blocking
+    (e.g. waiting on a result) is bounded by the ``timeout_s`` argument
+    of the individual call, enforced server-side, plus a grace margin on
+    the socket itself so a wedged daemon can't hang the client forever.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        *,
+        connect_timeout_s: float = 10.0,
+    ) -> None:
+        self.address = address
+        try:
+            self._sock = socket.create_connection(
+                address, timeout=connect_timeout_s
+            )
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach planner service at {address[0]}:{address[1]}: "
+                f"{exc}"
+            ) from exc
+        self._stream = self._sock.makefile("rb")
+
+    # ------------------------------------------------------------------
+
+    def request(
+        self, message: dict[str, Any], *, timeout_s: float | None = None
+    ) -> dict[str, Any]:
+        """One raw request/response exchange (error responses returned as-is).
+
+        ``timeout_s`` sets the socket read timeout for this exchange
+        (``None`` waits indefinitely).
+        """
+        message = {"protocol_version": PROTOCOL_VERSION, **message}
+        self._sock.settimeout(timeout_s)
+        try:
+            self._sock.sendall(encode_message(message))
+            response = read_message(self._stream)
+        except (OSError, ValueError) as exc:
+            raise ServiceError(
+                f"planner service at {self.address} unreachable: {exc}"
+            ) from exc
+        if response is None:
+            raise ServiceError(
+                f"planner service at {self.address} closed the connection"
+            )
+        return response
+
+    def _checked(
+        self, message: dict[str, Any], *, timeout_s: float | None = None
+    ) -> dict[str, Any]:
+        response = self.request(message, timeout_s=timeout_s)
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "planner service error"))
+        return response
+
+    # ------------------------------------------------------------------
+
+    def ping(self) -> dict[str, Any]:
+        """Liveness + version check."""
+        return self._checked({"op": "ping"}, timeout_s=10.0)
+
+    def submit(
+        self, region: RegionSpec, *, delta: RegionDelta | None = None
+    ) -> dict[str, Any]:
+        """Submit a planning job; returns ``{"job_id", "coalesced", ...}``.
+
+        With ``delta``, ``region`` is the *base* region and the job plans
+        ``delta.apply_to_region(region)`` — incrementally when the base
+        plan is warm on the daemon.
+        """
+        message: dict[str, Any] = {
+            "op": "submit",
+            "region": region_to_dict(region),
+        }
+        if delta is not None:
+            message["delta"] = delta.to_dict()
+        return self._checked(message, timeout_s=30.0)
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        """Non-blocking job state."""
+        return self._checked(
+            {"op": "status", "job_id": job_id}, timeout_s=10.0
+        )
+
+    def result(
+        self, job_id: str, *, timeout_s: float | None = 60.0
+    ) -> dict[str, Any]:
+        """Block until the job finishes; the plan arrives as canonical JSON
+        text under ``"plan"`` (see :meth:`plan` for the decoded form)."""
+        grace = None if timeout_s is None else timeout_s + 30.0
+        return self._checked(
+            {"op": "result", "job_id": job_id, "timeout_s": timeout_s},
+            timeout_s=grace,
+        )
+
+    def plan(
+        self, job_id: str, *, timeout_s: float | None = 60.0
+    ) -> IrisPlan:
+        """The finished job's plan, decoded."""
+        response = self.result(job_id, timeout_s=timeout_s)
+        return plan_from_dict(json.loads(response["plan"]))
+
+    def jobs(self) -> list[dict[str, Any]]:
+        """Summaries of every job the daemon still remembers."""
+        return self._checked({"op": "jobs"}, timeout_s=10.0)["jobs"]
+
+    def stats(self) -> dict[str, Any]:
+        """Daemon counters + queue depth."""
+        return self._checked({"op": "stats"}, timeout_s=10.0)
+
+    def shutdown(self, *, timeout_s: float = 30.0) -> dict[str, Any]:
+        """Ask the daemon to drain and exit (returns immediately)."""
+        return self._checked(
+            {"op": "shutdown", "timeout_s": timeout_s}, timeout_s=10.0
+        )
+
+    def close(self) -> None:
+        try:
+            self._stream.close()
+        finally:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

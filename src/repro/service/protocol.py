@@ -1,0 +1,76 @@
+"""The planner service wire protocol: newline-delimited JSON over TCP.
+
+Deliberately stdlib-only and trivial to speak by hand::
+
+    $ printf '{"op": "ping", "protocol_version": 1}\n' | nc 127.0.0.1 9770
+    {"ok": true, "op": "ping", ...}
+
+One JSON object per line in each direction; a connection may carry any
+number of request/response exchanges (responses come back in request
+order). Requests carry ``op`` plus op-specific fields; responses carry
+``ok`` (with ``error`` when false) plus op-specific fields. Response
+payloads that embed a plan carry it as the *canonical* compact JSON
+string produced by the daemon (see :mod:`repro.service.daemon`), so two
+clients receiving the same plan receive identical bytes whatever the
+transport framing did.
+
+Ops: ``ping``, ``submit``, ``status``, ``result``, ``jobs``, ``stats``,
+``shutdown``. See :class:`repro.service.daemon.PlannerService.handle`
+for the authoritative field-by-field semantics.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, BinaryIO
+
+from repro.exceptions import ServiceError
+
+#: Bump on any incompatible change to request/response shapes. Both ends
+#: send it; both ends reject mismatches loudly.
+PROTOCOL_VERSION = 1
+
+#: Cap on one encoded message line; guards the daemon against unbounded
+#: buffering on a hostile or confused peer. Plans on paper-scale regions
+#: encode well under this.
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+
+def encode_message(message: dict[str, Any]) -> bytes:
+    """One protocol line: compact JSON + newline."""
+    data = json.dumps(message, separators=(",", ":"), sort_keys=True)
+    return data.encode("utf-8") + b"\n"
+
+
+def read_message(stream: BinaryIO) -> dict[str, Any] | None:
+    """The next protocol message from ``stream``; ``None`` on clean EOF.
+
+    Raises :class:`~repro.exceptions.ServiceError` on oversized lines,
+    undecodable JSON, or a non-object payload.
+    """
+    line = stream.readline(MAX_MESSAGE_BYTES + 1)
+    if not line:
+        return None
+    if len(line) > MAX_MESSAGE_BYTES:
+        raise ServiceError(
+            f"protocol message exceeds {MAX_MESSAGE_BYTES} bytes"
+        )
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ServiceError(f"undecodable protocol message: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ServiceError(
+            f"protocol message must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def check_protocol_version(message: dict[str, Any]) -> None:
+    """Reject a message advertising an incompatible protocol version."""
+    version = message.get("protocol_version", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise ServiceError(
+            f"protocol version mismatch: peer speaks {version!r}, "
+            f"this end speaks {PROTOCOL_VERSION}"
+        )

@@ -1,0 +1,50 @@
+"""Subprocess target for the pool-interrupt test (see test_engine.py).
+
+Runs a ProcessBackend fan-out whose chunks sleep far longer than the test
+will wait, prints ``READY <worker pids>`` once the pool is populated, and
+then expects a SIGINT. The backend's interrupt handling must terminate
+and join every worker before the KeyboardInterrupt propagates; exit code
+3 + ``INTERRUPTED clean=True`` signals that path ran.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+
+from repro.core.engine import ProcessBackend, worker_safe
+
+
+@worker_safe
+def sleepy_chunk(shared: None, chunk: list[int]) -> list[int]:
+    time.sleep(60.0)
+    return [0 for _ in chunk]
+
+
+def main() -> int:
+    backend = ProcessBackend(jobs=2)
+
+    def announce_workers() -> None:
+        while True:
+            executor = backend._executor
+            processes = getattr(executor, "_processes", None) if executor else None
+            if processes:
+                print("READY " + " ".join(str(pid) for pid in processes), flush=True)
+                return
+            time.sleep(0.02)
+
+    threading.Thread(target=announce_workers, daemon=True).start()
+    try:
+        for _ in backend.iter_chunks(sleepy_chunk, None, [[1], [2], [3], [4]]):
+            pass
+    except KeyboardInterrupt:
+        # terminate() ran inside iter_chunks before re-raising; the
+        # executor slot is cleared once the workers are joined.
+        print(f"INTERRUPTED clean={backend._executor is None}", flush=True)
+        return 3
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -198,3 +198,53 @@ class TestFailoverCommand:
         assert "cutting duct" in out
         assert "audit: clean" in out
         assert "restored shortest paths" in out
+
+
+class TestVersionFlag:
+    def test_version_prints_package_version(self, capsys):
+        import pytest as _pytest
+
+        import repro
+
+        with _pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"iris {repro.__version__}"
+
+
+class TestServiceCommands:
+    def test_jobs_against_dead_daemon_is_an_error(self, capsys):
+        # Port 1 is never listening; the client error must surface as a
+        # clean CLI error, not a traceback.
+        assert main(["jobs", "--port", "1"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_submit_serve_round_trip(self, tmp_path, capsys):
+        from repro.service import PlannerService, ServiceConfig
+
+        with PlannerService(ServiceConfig(workers=1)).start() as service:
+            _host, port = service.address
+            out_file = tmp_path / "plan.json"
+            code = main(
+                [
+                    "submit",
+                    "--port",
+                    str(port),
+                    "--dcs",
+                    "4",
+                    "--fibers",
+                    "6",
+                    "--tolerance",
+                    "1",
+                    "--timeout",
+                    "120",
+                    "--out",
+                    str(out_file),
+                ]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "done (cold)" in out
+            assert json.loads(out_file.read_text())["format_version"] >= 1
+            assert main(["jobs", "--port", str(port)]) == 0
+            assert "cold" in capsys.readouterr().out

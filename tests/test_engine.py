@@ -271,3 +271,98 @@ class TestPlanTimings:
         summary = t.summary()
         assert "\n" not in summary
         assert "scenarios" in summary and "backend serial" in summary
+
+
+class TestCancelToken:
+    def test_explicit_cancel_raises_at_checkpoint(self):
+        from repro.core.engine import CancelToken
+        from repro.exceptions import JobCancelled
+
+        token = CancelToken()
+        token.checkpoint()  # not cancelled: no-op
+        token.cancel("unit test")
+        assert token.cancelled
+        with pytest.raises(JobCancelled, match="unit test"):
+            token.checkpoint()
+
+    def test_deadline_self_cancels(self):
+        from repro.core.engine import CancelToken
+        from repro.exceptions import JobCancelled
+
+        token = CancelToken(timeout_s=0.0)
+        with pytest.raises(JobCancelled, match="timeout"):
+            token.checkpoint()
+        assert token.reason == "timeout"
+
+    def test_cancelled_token_stops_serial_planning(self, toy_region):
+        from repro.core.engine import CancelToken
+        from repro.exceptions import JobCancelled
+
+        token = CancelToken()
+        token.cancel()
+        with pytest.raises(JobCancelled):
+            plan_topology(toy_region, cancel_token=token)
+
+    def test_uncancelled_token_changes_nothing(self, toy_region):
+        from repro.core.engine import CancelToken
+        from repro.serialize import plan_to_json
+        from repro.core.planner import _plan_region
+
+        baseline = plan_to_json(_plan_region(toy_region), full=True)
+        tokened = plan_to_json(
+            _plan_region(toy_region, cancel_token=CancelToken(timeout_s=600)),
+            full=True,
+        )
+        assert tokened == baseline
+
+
+class TestPoolInterrupt:
+    def test_sigint_terminates_and_joins_workers(self):
+        """SIGINT mid-fan-out must not orphan pool workers (subprocess)."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time as time_mod
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo / "src")
+        proc = subprocess.Popen(
+            [sys.executable, str(repo / "tests" / "interrupt_helper.py")],
+            env=env,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            ready = proc.stdout.readline().strip()
+            assert ready.startswith("READY "), ready
+            worker_pids = [int(p) for p in ready.split()[1:]]
+            assert worker_pids
+            proc.send_signal(signal.SIGINT)
+            out, _ = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        assert proc.returncode == 3, (proc.returncode, out)
+        assert "INTERRUPTED clean=True" in out
+        # The workers were terminated and joined, not orphaned.
+        deadline = time_mod.monotonic() + 10.0
+        for pid in worker_pids:
+            while time_mod.monotonic() < deadline:
+                try:
+                    os.kill(pid, 0)
+                except ProcessLookupError:
+                    break
+                time_mod.sleep(0.1)
+            else:
+                raise AssertionError(f"worker {pid} still alive")
+
+    def test_terminate_is_idempotent(self):
+        from repro.core.engine import ProcessBackend
+
+        backend = ProcessBackend(jobs=2)
+        backend.terminate()  # never started: no-op
+        backend.terminate()
