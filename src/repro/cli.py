@@ -502,6 +502,18 @@ def cmd_lint(args) -> int:
             },
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        from repro import __version__
+        from repro.lint import to_sarif
+
+        rules = selected if selected is not None else all_rules()
+        print(
+            json.dumps(
+                to_sarif(findings, rules, version=__version__),
+                indent=2,
+                sort_keys=True,
+            )
+        )
     else:
         for finding in findings:
             print(finding.format())
@@ -817,9 +829,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="findings output format (json feeds CI artifacts)",
+        help=(
+            "findings output format (json feeds CI artifacts; sarif is "
+            "SARIF 2.1.0 for native PR annotation)"
+        ),
     )
     p.add_argument(
         "--report-unused-noqa",

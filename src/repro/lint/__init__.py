@@ -33,6 +33,15 @@ in a :class:`repro.store.cas.PlanStore` (``--store DIR``) with
 call-graph-aware invalidation, so a warm repo-wide lint re-parses
 nothing.
 
+Since v4 a fourth phase (:mod:`repro.lint.concurrency`) analyzes the
+thread-shared state the ``iris serve`` daemon introduced: locksets over
+``with self._lock:`` blocks thread interprocedurally (private helpers
+called under a lock inherit it via a must-analysis fixpoint), a
+``blocking`` effect closes bottom-up like the v3 effects, and a
+may-acquire-after graph over canonical lock names feeds deadlock
+detection. ``iris lint --format sarif`` emits SARIF 2.1.0 for native PR
+annotation in CI.
+
 Rules (see :mod:`repro.lint.rules` and ``iris lint --list-rules``):
 R001 global RNG state, R002 wall-clock reads, R003 float equality on unit
 quantities, R004 unordered iteration, R005 module-level mutable state,
@@ -40,11 +49,22 @@ R006 keyword-only planner config, R007 unit-tag mixing, R008 atomic store
 writes, R009 unordered data into serialization sinks, R010 return unit vs
 name suffix, R011 obs span/counter discipline, R012 pool submissions
 picklable, R013 pool submissions deterministic, R014 pool chunk functions
-pure. Intentional violations carry a ``# repro: noqa-RXXX`` comment
-anywhere in the flagged statement; ``--report-unused-noqa`` (R900) keeps
+pure, R015 guarded-by consistency for thread-shared attributes, R016 no
+blocking calls under a lock, R017 lock acquisition order acyclic, R018
+resources released on every path, R019 threads daemon-or-joined and waits
+time-bounded. Intentional violations carry a ``# repro: noqa-RXXX``
+comment anywhere in the flagged statement (R015 additionally accepts
+``# repro: guarded-by[lock]``); ``--report-unused-noqa`` (R900) keeps
 those escapes honest.
 """
 
+from repro.lint.concurrency import (
+    ConcurrencyContext,
+    FileConcurrency,
+    FunctionConcurrency,
+    build_concurrency,
+    extract_concurrency,
+)
 from repro.lint.driver import (
     LintUsageError,
     Suppressions,
@@ -66,15 +86,19 @@ from repro.lint.flow import (
 )
 from repro.lint.project import ProjectContext, lint_project
 from repro.lint.registry import FileContext, Rule, all_rules, get_rule, rule
+from repro.lint.sarif import to_sarif
 from repro.lint.summaries import EffectOrigin, FunctionSummary, chain_text
 
 __all__ = [
     "AbstractValue",
+    "ConcurrencyContext",
     "EffectOrigin",
+    "FileConcurrency",
     "Finding",
     "FileContext",
     "FixReport",
     "FlowInfo",
+    "FunctionConcurrency",
     "FunctionSummary",
     "LintUsageError",
     "Orderedness",
@@ -85,7 +109,9 @@ __all__ = [
     "all_rules",
     "analyze_flow",
     "apply_edits",
+    "build_concurrency",
     "chain_text",
+    "extract_concurrency",
     "fix_sources",
     "get_rule",
     "iter_python_files",
@@ -95,6 +121,7 @@ __all__ = [
     "lint_source",
     "rule",
     "suppressions",
+    "to_sarif",
     "unified_diff",
     "unit_dimension",
     "unit_suffix",

@@ -50,18 +50,30 @@ _NOQA_RE = re.compile(
     re.IGNORECASE,
 )
 
+#: The R015 blessing: a ``guarded-by`` comment naming the lock (in
+#: square brackets after the keyword) declares that an unguarded access
+#: to a majority-guarded attribute is intentional — the attribute is
+#: immutable after start, read racily on purpose, etc. It suppresses
+#: exactly R015 on its statement and is tracked like any noqa: a
+#: blessing that blesses nothing is an R900.
+_GUARDED_RE = re.compile(
+    r"#\s*repro:\s*guarded-by\[(?P<lock>[^\]]+)\]",
+    re.IGNORECASE,
+)
+
 #: Sentinel for "suppress every rule on this line".
 _ALL = frozenset({"*"})
 
 
-def _noqa_comments(source: str) -> list[tuple[int, int, frozenset[str]]]:
-    """(line, col, rule-set) for every real ``# repro: noqa`` comment.
+def _noqa_comments(source: str) -> list[tuple[int, int, frozenset[str], str]]:
+    """(line, col, rule-set, comment text) for every real suppression
+    comment — ``# repro: noqa`` variants and ``# repro: guarded-by[...]``.
 
     Tokenized, not regexed over raw lines, so the string ``"# repro: noqa"``
     inside a docstring or help text neither suppresses findings nor shows
     up as an unused suppression.
     """
-    out: list[tuple[int, int, frozenset[str]]] = []
+    out: list[tuple[int, int, frozenset[str], str]] = []
     try:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
     except (tokenize.TokenError, IndentationError, SyntaxError):
@@ -70,23 +82,37 @@ def _noqa_comments(source: str) -> list[tuple[int, int, frozenset[str]]]:
         if token.type != tokenize.COMMENT:
             continue
         match = _NOQA_RE.search(token.string)
-        if match is None:
-            continue
-        listed = match.group("rules")
-        if listed is None:
-            ids = _ALL
-        else:
-            ids = frozenset(
-                part.strip().upper() for part in listed.split(",") if part.strip()
+        if match is not None:
+            listed = match.group("rules")
+            if listed is None:
+                ids = _ALL
+            else:
+                ids = frozenset(
+                    part.strip().upper()
+                    for part in listed.split(",")
+                    if part.strip()
+                )
+            out.append(
+                (token.start[0], token.start[1] + 1, ids, match.group(0))
             )
-        out.append((token.start[0], token.start[1] + 1, ids))
+            continue
+        guarded = _GUARDED_RE.search(token.string)
+        if guarded is not None:
+            out.append(
+                (
+                    token.start[0],
+                    token.start[1] + 1,
+                    frozenset({"R015"}),
+                    guarded.group(0),
+                )
+            )
     return out
 
 
 def suppressions(source: str) -> dict[int, frozenset[str]]:
     """Per-line suppression sets parsed from ``# repro: noqa`` comments."""
     out: dict[int, frozenset[str]] = {}
-    for lineno, _col, ids in _noqa_comments(source):
+    for lineno, _col, ids, _label in _noqa_comments(source):
         if ids is _ALL:
             out[lineno] = _ALL
         else:
@@ -131,13 +157,15 @@ class Suppressions:
         self._source = source
         self.by_comment: dict[int, frozenset[str]] = {}
         self._cols: dict[int, int] = {}
-        for lineno, col, ids in _noqa_comments(source):
+        self._labels: dict[int, str] = {}
+        for lineno, col, ids, label in _noqa_comments(source):
             if ids is _ALL or self.by_comment.get(lineno) is _ALL:
                 self.by_comment[lineno] = _ALL
             else:
                 existing = self.by_comment.get(lineno, frozenset())
                 self.by_comment[lineno] = existing | ids
             self._cols.setdefault(lineno, col)
+            self._labels.setdefault(lineno, label)
         spans = _statement_spans(tree) if tree is not None else []
         self._covering: dict[int, list[int]] = {}
         for comment_line in self.by_comment:
@@ -202,7 +230,7 @@ class Suppressions:
         out = []
         for line in self.unused():
             active = self.by_comment[line]
-            label = (
+            label = self._labels.get(line) or (
                 "# repro: noqa"
                 if active is _ALL
                 else "# repro: noqa-" + ",".join(sorted(active))

@@ -48,6 +48,12 @@ from repro.lint.callgraph import (
     resolve_target,
     split_function_id,
 )
+from repro.lint.concurrency import (
+    ConcurrencyContext,
+    FileConcurrency,
+    build_concurrency,
+    extract_concurrency,
+)
 from repro.lint.findings import Finding, TextEdit
 from repro.lint.flow import (
     AbstractValue,
@@ -75,7 +81,10 @@ __all__ = [
 
 #: Bumped whenever rules, summaries, or the cache envelope change shape:
 #: part of every cache key, so stale schema entries degrade to misses.
-RULESET_VERSION = 3
+#: v4: concurrency facts join the phase-1 payload and R015–R019 the rule
+#: set, so v3-cached entries must degrade to misses rather than replay
+#: findings that predate the thread-safety phase.
+RULESET_VERSION = 4
 
 
 class _Store(Protocol):
@@ -105,6 +114,8 @@ class ProjectContext:
     summaries: dict[str, FunctionSummary] = field(default_factory=dict)
     #: Transitive effect closure per project function id.
     effects: dict[str, dict[str, EffectOrigin]] = field(default_factory=dict)
+    #: Phase-4 lockset/lifecycle products (v4; see repro.lint.concurrency).
+    concurrency: ConcurrencyContext | None = None
 
     def resolve_symbolic(self, syntax: FileSyntax, target: str) -> str | None:
         """Resolve a symbolic ``local:``/``import:`` target to a function id."""
@@ -139,6 +150,7 @@ class _FileState:
     syntax: FileSyntax | None = None
     live: bool = False  # syntax carries AST node maps (freshly parsed)
     summaries: dict[str, FunctionSummary] = field(default_factory=dict)
+    concurrency: FileConcurrency | None = None
     refs: tuple[str, ...] = ()
     r000: list[Finding] = field(default_factory=list)
     suppressions: Any = None
@@ -265,6 +277,7 @@ def _parse_file(state: _FileState) -> None:
         path=state.module_path,
         is_blessed=_blessing(state.suppressions, state.module_path),
     )
+    state.concurrency = extract_concurrency(state.tree, state.syntax)
     collector = _RefCollector(state.syntax)
     collector.visit(state.tree)
     state.refs = tuple(sorted(collector.refs))
@@ -285,6 +298,11 @@ def _phase1(state: _FileState, store: _Store | None) -> None:
                 q: FunctionSummary.from_dict(s)
                 for q, s in payload.get("summaries", {}).items()
             }
+            state.concurrency = (
+                FileConcurrency.from_dict(payload["concurrency"])
+                if payload.get("concurrency") is not None
+                else None
+            )
             state.refs = tuple(payload.get("refs", ()))
             state.r000 = [
                 Finding(d["path"], d["line"], d["col"], d["rule"], d["message"])
@@ -302,6 +320,9 @@ def _phase1(state: _FileState, store: _Store | None) -> None:
                 "summaries": {
                     q: s.to_dict() for q, s in sorted(state.summaries.items())
                 },
+                "concurrency": state.concurrency.to_dict()
+                if state.concurrency is not None
+                else None,
                 "refs": list(state.refs),
                 "r000": [f.to_dict() for f in state.r000],
             },
@@ -370,8 +391,27 @@ def _build_project(states: Sequence[_FileState]) -> tuple[
             seed[fid]["unordered_iter"] = EffectOrigin("unordered_iter", origin)
 
     effects = propagate_effects(final, edges, seed_effects=seed)
+
+    # Phase 4: the lockset/lifecycle products over cached per-file facts.
+    concs = {
+        s.path: s.concurrency for s in states if s.concurrency is not None
+    }
+
+    def conc_resolver(path: str, target: str) -> str | None:
+        syntax = syntaxes.get(path)
+        if syntax is None:
+            return None
+        fid = resolve_target(target, syntax, index, syntaxes)
+        return fid if fid is not None and fid in final else None
+
+    concurrency = build_concurrency(concs, final, conc_resolver)
+
     project = ProjectContext(
-        syntaxes=syntaxes, index=index, summaries=final, effects=effects
+        syntaxes=syntaxes,
+        index=index,
+        summaries=final,
+        effects=effects,
+        concurrency=concurrency,
     )
     adjacency = {
         fid: sorted({callee for callee, _l, _n in callees})
@@ -456,6 +496,7 @@ def _findings_key(
     rule_ids: Sequence[str],
     report_unused_noqa: bool,
     deps: Mapping[str, str],
+    conc_digest: str,
 ) -> str:
     return _digest(
         {
@@ -466,6 +507,45 @@ def _findings_key(
             "rules": list(rule_ids),
             "unused_noqa": report_unused_noqa,
             "deps": dict(deps),
+            "concurrency": conc_digest,
+        }
+    )
+
+
+def _conc_file_digest(
+    state: _FileState,
+    project: ProjectContext,
+    cone: Mapping[str, str],
+) -> str:
+    """Digest of every phase-4 product that can alter this file's findings.
+
+    Scoped like the summary cone, not global: a file's R015/R017 findings
+    replay from the precomputed per-path slices, its entry locksets come
+    from call sites anywhere in the project, and its R018 acquisitions
+    consult the resource kinds of functions it can reach. Unrelated
+    concurrency changes elsewhere leave this digest — and the cached
+    findings — untouched, preserving the scoped-relint property the bench
+    gate asserts.
+    """
+    conc = project.concurrency
+    if conc is None:
+        return ""
+    entry = {
+        fid: sorted(locks)
+        for fid, locks in conc.entry_locks.items()
+        if split_function_id(fid)[0] == state.path
+    }
+    resources = {
+        fid: conc.resources[fid] for fid in cone if fid in conc.resources
+    }
+    return _digest(
+        {
+            "entry": entry,
+            "unguarded": [
+                list(f) for f in conc.unguarded.get(state.path, ())
+            ],
+            "cycles": [list(f) for f in conc.cycles.get(state.path, ())],
+            "resources": resources,
         }
     )
 
@@ -596,7 +676,13 @@ def lint_project(
         key = ""
         if store is not None:
             deps = _file_cone_deps(state, project, adjacency, influence)
-            key = _findings_key(state, rule_ids, report_unused_noqa, deps)
+            key = _findings_key(
+                state,
+                rule_ids,
+                report_unused_noqa,
+                deps,
+                _conc_file_digest(state, project, deps),
+            )
             payload = store.get(key)
             if payload is not None:
                 findings.extend(

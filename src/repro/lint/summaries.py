@@ -50,6 +50,7 @@ __all__ = [
     "EFFECT_RULES",
     "EffectOrigin",
     "FunctionSummary",
+    "blocking_call_violation",
     "chain_text",
     "extract_summaries",
     "propagate_effects",
@@ -64,6 +65,7 @@ EFFECT_RULES: dict[str, str | None] = {
     "module_state": "R005",
     "unordered_iter": "R004",
     "io": None,
+    "blocking": "R016",
 }
 
 #: Human phrasing per effect, used by call-site findings.
@@ -73,6 +75,7 @@ EFFECT_LABELS: dict[str, str] = {
     "module_state": "rebinds module-level state",
     "unordered_iter": "iterates an unordered collection",
     "io": "performs filesystem I/O",
+    "blocking": "may block indefinitely",
 }
 
 #: ``random`` module attributes that do NOT touch the shared module RNG.
@@ -107,6 +110,17 @@ _OS_IO = frozenset(
 
 #: Path-object methods that read or write files in one call.
 _PATH_IO = frozenset({"write_text", "write_bytes", "read_text", "read_bytes"})
+
+#: Socket methods that park the calling thread on the network (R016).
+_SOCKET_BLOCKING = frozenset(
+    {"accept", "recv", "recvfrom", "recv_into", "sendall"}
+)
+
+#: Planner entry points: a full solve can take seconds to minutes, which
+#: is "blocking" from the perspective of a thread holding a service lock.
+_PLANNER_ENTRY = frozenset(
+    {"plan_topology", "plan_region", "plan_robust", "run_sweep"}
+)
 
 
 @dataclass(frozen=True)
@@ -259,6 +273,72 @@ def wall_clock_violation(node: ast.Attribute) -> str | None:
         return f"time.{node.attr}"
     if node.attr in DATETIME_WALL and _dotted_root(node) in ("datetime", "date"):
         return f"{_dotted_root(node)}.{node.attr}"
+    return None
+
+
+def _receiver_text(node: ast.expr) -> str:
+    """Best-effort dotted text of a call receiver (``self._queue``)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _kw(node: ast.Call, name: str) -> ast.expr | None:
+    for kw in node.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _is_false(expr: ast.expr | None) -> bool:
+    return isinstance(expr, ast.Constant) and expr.value is False
+
+
+def blocking_call_violation(node: ast.Call) -> str | None:
+    """The potentially-indefinite wait a call performs (``"Queue.get"``).
+
+    This is the direct-detection half of the ``blocking`` effect (R016):
+    socket accept/recv/sendall, ``queue.put``/``get`` in blocking mode,
+    ``Event.wait``/``Condition.wait``, ``Thread.join``, ``time.sleep``,
+    and the planner entry points (a full solve is a block from the
+    perspective of anything holding a service lock). Queue and join
+    detection is receiver-name driven — ``self._queue.get()`` counts,
+    ``params.get("key")`` does not.
+    """
+    func = node.func
+    if isinstance(func, ast.Name):
+        if func.id in _PLANNER_ENTRY:
+            return f"{func.id}(...)"
+        return None
+    if not isinstance(func, ast.Attribute):
+        return None
+    receiver = _receiver_text(func.value).lower()
+    root = _dotted_root(func)
+    if func.attr in _SOCKET_BLOCKING:
+        return f".{func.attr}"
+    if root == "socket" and func.attr == "create_connection":
+        return "socket.create_connection"
+    if root == "time" and func.attr == "sleep":
+        return "time.sleep"
+    if func.attr in _PLANNER_ENTRY:
+        return f".{func.attr}(...)"
+    if func.attr in ("get", "put") and "queue" in receiver:
+        first = node.args[0] if node.args else None
+        if _is_false(first) or _is_false(_kw(node, "block")):
+            return None
+        return f"Queue.{func.attr}"
+    if func.attr == "wait":
+        return ".wait"
+    if func.attr == "join" and not node.args and not node.keywords:
+        return ".join"
+    if func.attr == "join" and (
+        "thread" in receiver or "worker" in receiver
+    ):
+        return ".join"
     return None
 
 
@@ -451,6 +531,9 @@ def extract_summaries(
                 io = io_call_violation(child)
                 if io is not None:
                     found("io", io, child.lineno)
+                blocking = blocking_call_violation(child)
+                if blocking is not None:
+                    found("blocking", blocking, child.lineno)
             elif isinstance(child, (ast.For, ast.AsyncFor)):
                 value = flow.value_of(child.iter)
                 origin = _unordered_origin(value, path)

@@ -49,8 +49,10 @@ class ServiceClient:
         connect_timeout_s: float = 10.0,
     ) -> None:
         self.address = address
+        self._sock: socket.socket | None = None
+        self._stream: Any = None
         try:
-            self._sock = socket.create_connection(
+            sock = socket.create_connection(
                 address, timeout=connect_timeout_s
             )
         except OSError as exc:
@@ -58,7 +60,16 @@ class ServiceClient:
                 f"cannot reach planner service at {address[0]}:{address[1]}: "
                 f"{exc}"
             ) from exc
-        self._stream = self._sock.makefile("rb")
+        self._sock = sock
+        try:
+            self._stream = self._sock.makefile("rb")
+        except OSError:
+            # Half-opened: the TCP connect succeeded but the stream did
+            # not. Without this, the instance is never handed to the
+            # caller and the connected socket leaks until GC.
+            self._sock = None
+            sock.close()
+            raise
 
     # ------------------------------------------------------------------
 
@@ -71,6 +82,8 @@ class ServiceClient:
         (``None`` waits indefinitely).
         """
         message = {"protocol_version": PROTOCOL_VERSION, **message}
+        if self._sock is None or self._stream is None:
+            raise ServiceError("client is closed")
         self._sock.settimeout(timeout_s)
         try:
             self._sock.sendall(encode_message(message))
@@ -155,11 +168,22 @@ class ServiceClient:
         )
 
     def close(self) -> None:
-        try:
-            self._stream.close()
-        finally:
+        """Release the connection. Idempotent, and safe on a client whose
+        construction only half-completed: each handle is detached before
+        it is closed, so a second ``close()`` (or an ``__exit__`` racing
+        an explicit close) finds nothing left to do."""
+        stream = self._stream
+        self._stream = None
+        if stream is not None:
             try:
-                self._sock.close()
+                stream.close()
+            except OSError:
+                pass
+        sock = self._sock
+        self._sock = None
+        if sock is not None:
+            try:
+                sock.close()
             except OSError:
                 pass
 

@@ -199,9 +199,15 @@ class PlannerService:
         if self._listener is not None:
             raise ServiceError("service already started")
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        listener.bind((self.config.host, self.config.port))
-        listener.listen(128)
+        try:
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.config.host, self.config.port))
+            listener.listen(128)
+        except OSError:
+            # bind/listen failure (port in use, bad host) must not leak
+            # the half-configured socket: nothing owns it yet.
+            listener.close()
+            raise
         self._listener = listener
         self._start_workers()
         acceptor = threading.Thread(
@@ -341,13 +347,14 @@ class PlannerService:
                     depth = sum(
                         1 for j in self._jobs.values() if j.state == "queued"
                     )
+                    draining = self._draining
                 return {
                     "ok": True,
                     "op": "stats",
                     "counters": counters,
                     "queue_depth": depth,
                     "workers": self.config.workers,
-                    "draining": self._draining,
+                    "draining": draining,
                 }
             if op == "shutdown":
                 timeout_s = float(request.get("timeout_s", 30.0))

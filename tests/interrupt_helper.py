@@ -23,7 +23,10 @@ def sleepy_chunk(shared: None, chunk: list[int]) -> list[int]:
 
 
 def main() -> int:
-    backend = ProcessBackend(jobs=2)
+    # The interrupt path under test: iter_chunks itself terminates and
+    # joins the pool before KeyboardInterrupt propagates, which is the
+    # very behavior this helper asserts.
+    backend = ProcessBackend(jobs=2)  # repro: noqa-R018
 
     def announce_workers() -> None:
         while True:
